@@ -1,0 +1,250 @@
+// Package battsched is a from-scratch Go reproduction of "An Iterative
+// Algorithm for Battery-Aware Task Scheduling on Portable Computing
+// Platforms" (Jawad Khan & Ranga Vemuri, DATE 2005).
+//
+// The library schedules an application — a precedence task graph whose
+// tasks each offer several design points (voltage/frequency settings on a
+// DVS processor, or alternative FPGA bitstreams) — onto a battery-powered
+// platform so that a deadline is met and the battery charge drawn, as
+// estimated by the Rakhmatov–Vrudhula analytical battery model, is as
+// small as possible.
+//
+// # Quick start
+//
+//	var b battsched.Builder
+//	b.AddTask(1, "decode", battsched.DesignPoint{Current: 500, Time: 2.0},
+//	    battsched.DesignPoint{Current: 120, Time: 4.5})
+//	b.AddTask(2, "render", battsched.DesignPoint{Current: 700, Time: 1.5},
+//	    battsched.DesignPoint{Current: 160, Time: 3.5})
+//	b.AddEdge(1, 2)
+//	g, err := b.Build()
+//	// handle err
+//	res, err := battsched.Run(g, 7.0, battsched.Options{})
+//	// res.Schedule, res.Cost (mA·min), res.Duration …
+//
+// The paper's two benchmark graphs are available as G2() (robotic arm
+// controller case study) and G3() (15-task fork-join illustrative
+// example); cmd/paperrepro regenerates every table of the paper's
+// evaluation from them.
+//
+// This facade re-exports the stable surface of the internal packages;
+// units everywhere are milliamperes, minutes and mA·min.
+package battsched
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/battery"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/taskgraph"
+)
+
+// Graph is an immutable task graph; build one with Builder.
+type Graph = taskgraph.Graph
+
+// Builder accumulates tasks and precedence edges and validates them into a
+// Graph.
+type Builder = taskgraph.Builder
+
+// Task is one node of the graph.
+type Task = taskgraph.Task
+
+// DesignPoint is one implementation option of a task: average platform
+// current (mA) and execution time (minutes).
+type DesignPoint = taskgraph.DesignPoint
+
+// Spec is the JSON interchange form of a graph (see Graph.ToSpec,
+// taskgraph.ReadJSON).
+type Spec = taskgraph.Spec
+
+// Schedule is a sequential task order plus one design point per task.
+type Schedule = sched.Schedule
+
+// Stats summarizes a schedule under a battery model and deadline.
+type Stats = sched.Stats
+
+// Options configures the iterative scheduler; the zero value reproduces
+// the paper's configuration.
+type Options = core.Options
+
+// Result is the scheduler outcome: the best schedule, its battery cost
+// sigma (mA·min), duration, energy and the iteration trace.
+type Result = core.Result
+
+// Trace is the per-iteration run history (Options.RecordTrace).
+type Trace = core.Trace
+
+// Scheduler runs the paper's algorithm for one graph and deadline; most
+// callers only need Run.
+type Scheduler = core.Scheduler
+
+// ErrDeadlineInfeasible is returned when even the all-fastest assignment
+// misses the deadline.
+var ErrDeadlineInfeasible = core.ErrDeadlineInfeasible
+
+// BatteryModel estimates the apparent charge a discharge profile draws.
+type BatteryModel = battery.Model
+
+// Profile is a piecewise-constant discharge profile.
+type Profile = battery.Profile
+
+// Interval is one constant-current segment of a Profile.
+type Interval = battery.Interval
+
+// Rakhmatov is the Rakhmatov–Vrudhula analytical battery model (the
+// paper's Equation 1).
+type Rakhmatov = battery.Rakhmatov
+
+// Ideal is the linear coulomb-counting battery model.
+type Ideal = battery.Ideal
+
+// Peukert is the Peukert's-law battery model.
+type Peukert = battery.Peukert
+
+// KiBaM is the kinetic (two-well) battery model.
+type KiBaM = battery.KiBaM
+
+// SVGOptions controls Profile.WriteSVG chart rendering.
+type SVGOptions = battery.SVGOptions
+
+// DefaultBeta is the paper's diffusion parameter (0.273 min^-1/2).
+const DefaultBeta = battery.DefaultBeta
+
+// New prepares a Scheduler; see Run for the one-shot form.
+func New(g *Graph, deadline float64, opt Options) (*Scheduler, error) {
+	return core.New(g, deadline, opt)
+}
+
+// Run schedules the graph against the deadline with the paper's iterative
+// algorithm and returns the best schedule found.
+func Run(g *Graph, deadline float64, opt Options) (*Result, error) {
+	s, err := core.New(g, deadline, opt)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// RunBaselineRV runs the comparison algorithm of the paper's reference
+// [1]: exact minimum-energy design-point selection under the deadline (a
+// dynamic program) followed by Equation-5 greedy sequencing.
+func RunBaselineRV(g *Graph, deadline float64) (*Schedule, error) {
+	return baseline.RakhmatovSchedule(g, deadline)
+}
+
+// RunBaselineChowdhury runs the reference-[7]-style heuristic: all tasks
+// start fastest, then are scaled down as far as the slack allows starting
+// from the last task. A nil order uses the graph's deterministic
+// topological order.
+func RunBaselineChowdhury(g *Graph, deadline float64, order []int) (*Schedule, error) {
+	return baseline.ChowdhurySchedule(g, deadline, order)
+}
+
+// NewRakhmatov returns the paper's battery model with the given beta and
+// ten series terms.
+func NewRakhmatov(beta float64) Rakhmatov { return battery.NewRakhmatov(beta) }
+
+// NewKiBaM returns a kinetic battery model with the given capacity
+// (mA·min), available-well fraction c in (0,1] and rate constant k
+// (1/min).
+func NewKiBaM(capacity, c, k float64) KiBaM { return battery.NewKiBaM(capacity, c, k) }
+
+// NewPeukert returns a Peukert's-law model with exponent k >= 1 and
+// reference current in mA.
+func NewPeukert(exponent, refCurrent float64) Peukert {
+	return battery.NewPeukert(exponent, refCurrent)
+}
+
+// Observation is one measured constant-current discharge (current in mA,
+// lifetime in minutes), used to calibrate the battery model.
+type Observation = battery.Observation
+
+// FitRakhmatov estimates the Rakhmatov model's (capacity, beta) from
+// constant-current lifetime measurements — the calibration step that turns
+// datasheet numbers into scheduler parameters.
+func FitRakhmatov(obs []Observation) (alpha, beta float64, err error) {
+	return battery.FitRakhmatov(obs)
+}
+
+// IdlePlan is a slack-as-rest assignment produced by RunWithIdle.
+type IdlePlan = core.IdlePlan
+
+// MultiStartOptions configures RunMultiStart.
+type MultiStartOptions = core.MultiStartOptions
+
+// RunMultiStart runs the algorithm from its deterministic initial sequence
+// plus several seeded random topological orders and returns the best
+// result found (never worse than Run's).
+func RunMultiStart(g *Graph, deadline float64, opt Options, ms MultiStartOptions) (*Result, error) {
+	s, err := core.New(g, deadline, opt)
+	if err != nil {
+		return nil, err
+	}
+	return core.RunMultiStart(s, ms)
+}
+
+// RunWithIdle runs the iterative algorithm and then spends the remaining
+// deadline slack as interior rest periods where the battery model rewards
+// them (an extension of the paper exploiting its Section 3 recovery
+// effect).
+func RunWithIdle(g *Graph, deadline float64, opt Options) (*Result, *IdlePlan, error) {
+	return core.RunWithIdle(g, deadline, opt)
+}
+
+// Lifetime returns the earliest time sigma(t) reaches capacity alpha, and
+// whether the battery dies within the profile.
+func Lifetime(m BatteryModel, p Profile, alpha float64) (float64, bool) {
+	return battery.Lifetime(m, p, alpha, battery.LifetimeOptions{})
+}
+
+// G2 returns the paper's robotic arm controller case-study graph
+// (Figure 5): 9 tasks, 4 design points each.
+func G2() *Graph { return taskgraph.G2() }
+
+// G2Deadlines are the deadlines the paper evaluates G2 at (55, 75, 95).
+func G2Deadlines() []float64 { return append([]float64(nil), taskgraph.G2Deadlines...) }
+
+// G3 returns the paper's illustrative fork-join graph (Table 1): 15
+// tasks, 5 design points each.
+func G3() *Graph { return taskgraph.G3() }
+
+// G3Deadline is the deadline of the paper's illustrative run (230 min).
+const G3Deadline = taskgraph.G3Deadline
+
+// G3Deadlines are the deadlines Table 4 evaluates G3 at (100, 150, 230).
+func G3Deadlines() []float64 { return append([]float64(nil), taskgraph.G3Deadlines...) }
+
+// Platform describes a simulated portable platform (processing element,
+// peripheral base current, battery model and capacity).
+type Platform = sim.Platform
+
+// CPU is a simulated DVS processor with optional level-switch overhead.
+type CPU = sim.CPU
+
+// FPGA is a simulated FPGA with per-task bitstream reconfiguration
+// overhead.
+type FPGA = sim.FPGA
+
+// SimResult is the outcome of simulating a schedule on a Platform.
+type SimResult = sim.Result
+
+// Simulate executes a schedule on the platform, tracking the battery and
+// detecting mid-run death.
+func Simulate(p Platform, g *Graph, s *Schedule) (*SimResult, error) {
+	return sim.Run(p, g, s)
+}
+
+// MissionCycles runs the schedule back to back on a finite battery and
+// returns how many complete runs fit before the battery dies, and when it
+// dies.
+func MissionCycles(p Platform, g *Graph, s *Schedule, maxRuns int) (int, float64, error) {
+	return sim.LifetimeUnderRepetition(p, g, s, maxRuns)
+}
+
+// SimulateProfile drives the platform's battery with an arbitrary
+// discharge profile (for example an idle-padded one from
+// IdlePlan.Apply) and reports completion or mid-run death.
+func SimulateProfile(p Platform, profile Profile) (*SimResult, error) {
+	return sim.RunProfile(p, profile)
+}

@@ -1,0 +1,432 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus scaling and ablation benches for the design choices
+// DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkTableN/BenchmarkFigureN target reproduces the computation
+// behind that exhibit; correctness of the regenerated values is asserted
+// by the unit tests (internal/core, internal/baseline, internal/battery)
+// and recorded in EXPERIMENTS.md.
+package battsched_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	battsched "repro"
+	"repro/internal/baseline"
+	"repro/internal/battery"
+	"repro/internal/core"
+	"repro/internal/dvs"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/taskgraph"
+)
+
+// BenchmarkTable1Fixture measures building the G3 fixture (Table 1): the
+// cost of graph construction and validation.
+func BenchmarkTable1Fixture(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := taskgraph.G3()
+		if g.N() != 15 {
+			b.Fatal("bad fixture")
+		}
+	}
+}
+
+// BenchmarkTable2G3Iterations regenerates Table 2: the full iterative run
+// on G3 at deadline 230 with tracing (sequences + assignments per
+// iteration).
+func BenchmarkTable2G3Iterations(b *testing.B) {
+	g := taskgraph.G3()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := core.New(g, taskgraph.G3Deadline, core.Options{RecordTrace: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3WindowSweep regenerates Table 3's core work: one full
+// window sweep (4 windows) over the S1 sequence of G3.
+func BenchmarkTable3WindowSweep(b *testing.B) {
+	g := taskgraph.G3()
+	s, err := core.New(g, taskgraph.G3Deadline, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4Comparison regenerates Table 4: ours vs. the
+// reference-[1] baseline on both graphs across all six deadlines.
+func BenchmarkTable4Comparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Table4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4BaselineDP isolates the baseline's dynamic program on G3
+// at the loosest deadline (the dominant baseline cost).
+func BenchmarkTable4BaselineDP(b *testing.B) {
+	g := taskgraph.G3()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.MinEnergyAssignment(g, 230); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4DPF measures the DPF escalation machinery: one
+// chooseDesignPoints pass per window on G3 (the paper's Figure 4 procedure
+// is its inner loop). Exercised via a full single-window run.
+func BenchmarkFigure4DPF(b *testing.B) {
+	g := taskgraph.G3()
+	s, err := core.New(g, taskgraph.G3Deadline, core.Options{Windows: core.WindowFirstFeasible, DisableResequencing: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5G2CaseStudy schedules the robotic arm controller at its
+// middle deadline (the Section 5 case study).
+func BenchmarkFigure5G2CaseStudy(b *testing.B) {
+	g := taskgraph.G2()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := core.New(g, 75, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatterySigma measures one Equation-1 evaluation on a
+// 15-interval profile (the scheduler's innermost cost call).
+func BenchmarkBatterySigma(b *testing.B) {
+	g := taskgraph.G3()
+	res, err := battsched.Run(g, 230, battsched.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := res.Schedule.Profile(g)
+	T := p.TotalTime()
+	m := battery.NewRakhmatov(battery.DefaultBeta)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.ChargeLost(p, T) <= 0 {
+			b.Fatal("bad sigma")
+		}
+	}
+}
+
+// BenchmarkBatteryLifetime measures the first-crossing lifetime solver.
+func BenchmarkBatteryLifetime(b *testing.B) {
+	p := battery.Profile{
+		{Current: 600, Duration: 10}, {Current: 0, Duration: 20},
+		{Current: 400, Duration: 15}, {Current: 100, Duration: 30},
+	}
+	m := battery.NewRakhmatov(battery.DefaultBeta)
+	alpha := m.ChargeLost(p, p.TotalTime()) * 0.8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, died := battery.Lifetime(m, p, alpha, battery.LifetimeOptions{}); !died {
+			b.Fatal("should die")
+		}
+	}
+}
+
+// BenchmarkScalingTasks sweeps the scheduler over growing synthetic
+// fork-join graphs (the paper's target shape) to expose the algorithm's
+// polynomial scaling in n.
+func BenchmarkScalingTasks(b *testing.B) {
+	for _, n := range []int{10, 20, 40, 80} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			recipe := dvs.Recipe{Factors: dvs.G3Factors, Rule: dvs.TimeReversedLinear, Round: 1}
+			points, err := recipe.PointsFunc(dvs.RandomRefs(rng, n, 300, 900, 2, 8))
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := taskgraph.ForkJoin(4, (n-6)/4, 5, points)
+			if err != nil {
+				b.Fatal(err)
+			}
+			deadline := g.MinTotalTime() + 0.6*(g.MaxTotalTime()-g.MinTotalTime())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := core.New(g, deadline, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScalingPoints sweeps the design-point count m at fixed n.
+func BenchmarkScalingPoints(b *testing.B) {
+	for _, m := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(m)))
+			factors := make([]float64, m)
+			for j := range factors {
+				factors[j] = 1 - float64(j)/float64(m)*0.66
+			}
+			recipe := dvs.Recipe{Factors: factors, Rule: dvs.TimeReversedLinear}
+			points, err := recipe.PointsFunc(dvs.RandomRefs(rng, 15, 300, 900, 2, 8))
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := taskgraph.ForkJoin(4, 2, 6, points)
+			if err != nil {
+				b.Fatal(err)
+			}
+			deadline := g.MinTotalTime() + 0.6*(g.MaxTotalTime()-g.MinTotalTime())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := core.New(g, deadline, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation benches: the cost of each design choice the paper asserts.
+
+func benchOption(b *testing.B, opt core.Options) {
+	g := taskgraph.G3()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := core.New(g, taskgraph.G3Deadline, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationFull is the paper's full configuration (reference
+// point for the other ablations).
+func BenchmarkAblationFull(b *testing.B) { benchOption(b, core.Options{}) }
+
+// BenchmarkAblationNoResequencing drops the Equation-4 resequencing loop.
+func BenchmarkAblationNoResequencing(b *testing.B) {
+	benchOption(b, core.Options{DisableResequencing: true})
+}
+
+// BenchmarkAblationSingleWindow evaluates only the narrowest feasible
+// window instead of sweeping.
+func BenchmarkAblationSingleWindow(b *testing.B) {
+	benchOption(b, core.Options{Windows: core.WindowFirstFeasible})
+}
+
+// BenchmarkAblationNoDPF drops the DPF term (the costliest factor).
+func BenchmarkAblationNoDPF(b *testing.B) {
+	benchOption(b, core.Options{Factors: core.AllFactors &^ core.FactorDPF})
+}
+
+// BenchmarkAblationAvgEnergyOrder uses the paper's literal "average
+// energy" initial ordering.
+func BenchmarkAblationAvgEnergyOrder(b *testing.B) {
+	benchOption(b, core.Options{InitialOrder: core.WeightAvgEnergy})
+}
+
+// BenchmarkExhaustiveOracle measures the branch-and-bound oracle on a
+// 6-task instance (the validation workhorse).
+func BenchmarkExhaustiveOracle(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	points := func(i int) []taskgraph.DesignPoint {
+		base := float64(rng.Intn(500) + 100)
+		tb := float64(rng.Intn(30)+5) / 10
+		return []taskgraph.DesignPoint{
+			{Current: base, Time: tb},
+			{Current: base / 4, Time: tb * 1.8},
+			{Current: base / 16, Time: tb * 3},
+		}
+	}
+	g, err := taskgraph.Random(rng, 6, 0.35, points)
+	if err != nil {
+		b.Fatal(err)
+	}
+	deadline := g.MinTotalTime() + 0.5*(g.MaxTotalTime()-g.MinTotalTime())
+	m := battery.NewRakhmatov(battery.DefaultBeta)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := baseline.Optimal(g, deadline, m, baseline.OptimalOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnnealing measures the simulated-annealing comparator at its
+// default budget on G2 (the search the paper deems too heavy on-device).
+func BenchmarkAnnealing(b *testing.B) {
+	g := taskgraph.G2()
+	m := battery.NewRakhmatov(battery.DefaultBeta)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := baseline.Anneal(g, 75, m, baseline.AnnealOptions{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelWindows compares the concurrent window evaluator
+// against the sequential default on a larger synthetic instance (the
+// results are identical; this measures the wall-clock effect only).
+func BenchmarkParallelWindows(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	factors := make([]float64, 8)
+	for j := range factors {
+		factors[j] = 1 - float64(j)/8*0.66
+	}
+	recipe := dvs.Recipe{Factors: factors, Rule: dvs.TimeReversedLinear}
+	points, err := recipe.PointsFunc(dvs.RandomRefs(rng, 40, 300, 900, 2, 8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := taskgraph.ForkJoin(4, 7, 11, points)
+	if err != nil {
+		b.Fatal(err)
+	}
+	deadline := g.MinTotalTime() + 0.6*(g.MaxTotalTime()-g.MinTotalTime())
+	for _, par := range []bool{false, true} {
+		name := "sequential"
+		if par {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s, err := core.New(g, deadline, core.Options{Parallel: par})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMultiStart measures the 8-restart multi-start search on G3.
+func BenchmarkMultiStart(b *testing.B) {
+	g := taskgraph.G3()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := core.New(g, taskgraph.G3Deadline, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.RunMultiStart(s, core.MultiStartOptions{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIdleOptimization measures the recovery-rest placement pass.
+func BenchmarkIdleOptimization(b *testing.B) {
+	g := taskgraph.G3()
+	deadline := g.MaxTotalTime() * 1.2
+	res, err := battsched.Run(g, deadline, battsched.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := battery.NewRakhmatov(battery.DefaultBeta)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.OptimizeIdle(g, res.Schedule, deadline, m, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatteryFit measures Rakhmatov calibration from five
+// observations (grid scan + golden refinement).
+func BenchmarkBatteryFit(b *testing.B) {
+	m := battery.NewRakhmatov(0.273)
+	var obs []battery.Observation
+	for _, i := range []float64{50, 100, 200, 400, 800} {
+		l, err := battery.ConstantLoadLifetime(m, i, 40000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		obs = append(obs, battery.Observation{Current: i, Lifetime: l})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := battery.FitRakhmatov(obs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSyntheticSuite measures one small synthetic-suite cell batch.
+func BenchmarkSyntheticSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.SyntheticSuite(experiments.SyntheticConfig{
+			Seed: int64(i), Instances: 2, Tasks: 10, Points: 3, SlackLevels: []float64{0.3},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulation measures one simulated platform run of a 15-task
+// schedule with battery-death checking.
+func BenchmarkSimulation(b *testing.B) {
+	g := taskgraph.G3()
+	res, err := battsched.Run(g, 230, battsched.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plat := sim.Platform{Capacity: 1e9}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(plat, g, res.Schedule); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadFixtures(t *testing.T) {
+	g2, err := load("", "g2")
+	if err != nil || g2.N() != 9 {
+		t.Fatalf("g2: %v, n=%d", err, g2.N())
+	}
+	g3, err := load("", "G3") // case-insensitive
+	if err != nil || g3.N() != 15 {
+		t.Fatalf("g3: %v", err)
+	}
+	if _, err := load("", "g9"); err == nil {
+		t.Fatal("unknown fixture should error")
+	}
+	if _, err := load("", ""); err == nil {
+		t.Fatal("no source should error")
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.json")
+	spec := `{"tasks":[
+		{"id":1,"points":[{"current":100,"time":1},{"current":10,"time":2}]},
+		{"id":2,"points":[{"current":100,"time":1},{"current":10,"time":2}],"parents":[1]}
+	]}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := load(path, "")
+	if err != nil || g.N() != 2 {
+		t.Fatalf("load: %v", err)
+	}
+	if _, err := load(filepath.Join(dir, "missing.json"), ""); err == nil {
+		t.Fatal("missing file should error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(bad, ""); err == nil {
+		t.Fatal("bad JSON should error")
+	}
+}

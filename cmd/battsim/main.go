@@ -1,0 +1,144 @@
+// Command battsim evaluates battery models on discharge profiles: the
+// apparent charge lost (the paper's Equation 1), the lifetime against a
+// capacity, and the recovery behaviour after the load ends.
+//
+// Usage:
+//
+//	battsim -profile load.json [-beta 0.273] [-alpha 40000]
+//	battsim -constant 250 -for 120 -alpha 40000
+//	echo '[{"current":400,"duration":10}]' | battsim -profile - -alpha 5000
+//
+// The profile file is a JSON array of {"current": mA, "duration": min}.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/battery"
+)
+
+func main() {
+	var (
+		profilePath = flag.String("profile", "", "profile JSON file ('-' for stdin)")
+		constant    = flag.Float64("constant", 0, "instead: constant current in mA")
+		duration    = flag.Float64("for", 0, "duration of the constant load in minutes")
+		beta        = flag.Float64("beta", battery.DefaultBeta, "Rakhmatov diffusion parameter")
+		alpha       = flag.Float64("alpha", 0, "battery capacity in mA·min (0: skip lifetime)")
+		peukert     = flag.Float64("peukert", 0, "also evaluate a Peukert model with this exponent")
+		refCurrent  = flag.Float64("iref", 100, "Peukert reference current in mA")
+		fit         = flag.String("fit", "", "instead: calibrate (alpha, beta) from 'I1:L1,I2:L2,…' measurements")
+		svgPath     = flag.String("svg", "", "write an SVG chart of the profile with the sigma overlay to this file")
+	)
+	flag.Parse()
+	if *fit != "" {
+		if err := runFit(*fit); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	p, err := load(*profilePath, *constant, *duration)
+	if err != nil {
+		fatal(err)
+	}
+	rv := battery.NewRakhmatov(*beta)
+	end := p.TotalTime()
+	fmt.Printf("profile:    %d intervals, %.1f min, peak %.0f mA, mean %.0f mA\n",
+		len(p), end, p.PeakCurrent(), p.MeanCurrent())
+	fmt.Printf("delivered:  %.1f mA·min\n", p.DeliveredCharge(end))
+	fmt.Printf("sigma(RV):  %.1f mA·min at end (unavailable %.1f)\n",
+		rv.ChargeLost(p, end), rv.Unavailable(p, end))
+	fmt.Printf("ideal:      %.1f mA·min\n", battery.Ideal{}.ChargeLost(p, end))
+	if *peukert > 0 {
+		pk := battery.NewPeukert(*peukert, *refCurrent)
+		fmt.Printf("peukert:    %.1f mA·min (k=%g, Iref=%g)\n", pk.ChargeLost(p, end), *peukert, *refCurrent)
+	}
+	for _, rest := range []float64{10, 60} {
+		fmt.Printf("recoverable in %3.0f min rest: %.1f mA·min\n", rest, battery.RecoverableIn(rv, p, rest))
+	}
+	if *alpha > 0 {
+		if t, died := battery.Lifetime(rv, p, *alpha, battery.LifetimeOptions{}); died {
+			fmt.Printf("lifetime:   battery (alpha=%.0f) dies at %.2f min\n", *alpha, t)
+		} else {
+			fmt.Printf("lifetime:   battery (alpha=%.0f) survives the profile\n", *alpha)
+		}
+	}
+	if *svgPath != "" {
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := p.WriteSVG(f, battery.SVGOptions{Model: rv, Title: "discharge profile"}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("svg:        written to %s\n", *svgPath)
+	}
+}
+
+func load(path string, constant, duration float64) (battery.Profile, error) {
+	if constant > 0 {
+		if duration <= 0 {
+			return nil, fmt.Errorf("-constant needs a positive -for duration")
+		}
+		return battery.Profile{{Current: constant, Duration: duration}}, nil
+	}
+	if path == "" {
+		return nil, fmt.Errorf("one of -profile or -constant is required")
+	}
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return battery.ReadProfileJSON(r)
+}
+
+// runFit parses "I1:L1,I2:L2,…" pairs (current mA : lifetime min),
+// calibrates the Rakhmatov model, and prints the fit plus residuals.
+func runFit(spec string) error {
+	var obs []battery.Observation
+	for _, pair := range strings.Split(spec, ",") {
+		parts := strings.SplitN(strings.TrimSpace(pair), ":", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad observation %q (want I:L)", pair)
+		}
+		i, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			return fmt.Errorf("bad current in %q: %w", pair, err)
+		}
+		l, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return fmt.Errorf("bad lifetime in %q: %w", pair, err)
+		}
+		obs = append(obs, battery.Observation{Current: i, Lifetime: l})
+	}
+	alpha, beta, err := battery.FitRakhmatov(obs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fitted: alpha=%.1f mA·min, beta=%.4f min^-1/2\n", alpha, beta)
+	pred, err := battery.PredictLifetimes(alpha, beta, obs)
+	if err != nil {
+		return err
+	}
+	for k, o := range obs {
+		fmt.Printf("  %6.0f mA: measured %8.2f min, model %8.2f min (%+.1f%%)\n",
+			o.Current, o.Lifetime, pred[k], (pred[k]/o.Lifetime-1)*100)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "battsim:", err)
+	os.Exit(1)
+}

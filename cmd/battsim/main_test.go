@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadConstant(t *testing.T) {
+	p, err := load("", 250, 10)
+	if err != nil || len(p) != 1 || p[0].Current != 250 || p[0].Duration != 10 {
+		t.Fatalf("load constant: %v %v", p, err)
+	}
+	if _, err := load("", 250, 0); err == nil {
+		t.Fatal("constant without duration should error")
+	}
+	if _, err := load("", 0, 0); err == nil {
+		t.Fatal("no source should error")
+	}
+}
+
+func TestLoadProfileFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.json")
+	if err := os.WriteFile(path, []byte(`[{"current":400,"duration":10},{"current":0,"duration":5}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := load(path, 0, 0)
+	if err != nil || len(p) != 2 {
+		t.Fatalf("load: %v %v", p, err)
+	}
+	if _, err := load(filepath.Join(dir, "absent.json"), 0, 0); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestRunFit(t *testing.T) {
+	if err := runFit("100:350,200:160,400:72"); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "100", "x:1,2:3", "100:y,200:1", "100:10,100:12"} {
+		if err := runFit(bad); err == nil {
+			t.Fatalf("runFit(%q) should error", bad)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Command paperrepro regenerates the tables and figures of the paper's
+// evaluation (Khan & Vemuri, DATE 2005) from this reproduction's own
+// algorithms, annotating them with the paper's printed numbers.
+//
+// Usage:
+//
+//	paperrepro -all                 # everything, in paper order
+//	paperrepro -exp table4          # one experiment
+//	paperrepro -exp sweep -graph g2 # deadline sweep on G2
+//	paperrepro -list                # available experiment names
+//	paperrepro -markdown            # emit markdown instead of text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/taskgraph"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "run every experiment")
+		exp      = flag.String("exp", "", "experiment to run (see -list)")
+		list     = flag.Bool("list", false, "list experiment names")
+		graph    = flag.String("graph", "g3", "graph for sweep/extended/ablation: g2 or g3")
+		markdown = flag.Bool("markdown", false, "emit markdown tables")
+	)
+	flag.Parse()
+	if *list {
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+	if !*all && *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	out := os.Stdout
+	render := func(t *report.Table) {
+		var err error
+		if *markdown {
+			err = t.Markdown(out)
+		} else {
+			err = t.Render(out)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(out)
+	}
+	names := []string{*exp}
+	if *all {
+		names = []string{"table1", "figure3", "figure4", "table2", "table3", "figure5", "table4", "extended", "ablation", "battery", "sweep", "idle", "models", "synthetic"}
+	}
+	for _, name := range names {
+		if err := run(name, *graph, render, out); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func run(name, graphName string, render func(*report.Table), out io.Writer) error {
+	g, deadlines := pick(graphName)
+	switch name {
+	case "table1":
+		render(experiments.Table1())
+	case "table2":
+		r, err := experiments.Table2()
+		if err != nil {
+			return err
+		}
+		render(r.Table)
+	case "table3":
+		t, err := experiments.Table3()
+		if err != nil {
+			return err
+		}
+		render(t)
+	case "table4":
+		_, t, err := experiments.Table4()
+		if err != nil {
+			return err
+		}
+		render(t)
+	case "figure3":
+		render(experiments.Figure3(5, 4))
+	case "figure4":
+		render(experiments.Figure4())
+	case "figure5":
+		t, dot := experiments.Figure5()
+		render(t)
+		fmt.Fprintln(out, dot)
+	case "ablation":
+		_, t, err := experiments.Ablation(g, deadlines[len(deadlines)-1])
+		if err != nil {
+			return err
+		}
+		render(t)
+	case "battery":
+		render(experiments.BatteryProperties())
+	case "sweep":
+		lo := g.MinTotalTime() * 1.02
+		hi := g.MaxTotalTime() * 1.05
+		t, err := experiments.DeadlineSweep(g, lo, hi, 12)
+		if err != nil {
+			return err
+		}
+		render(t)
+	case "extended":
+		for _, d := range deadlines {
+			t, err := experiments.ExtendedComparison(strings.ToUpper(graphName), g, d)
+			if err != nil {
+				return err
+			}
+			render(t)
+		}
+	case "idle":
+		// Beyond the paper's deadlines, add two loose ones past the
+		// all-slowest completion time — the regime where slack cannot
+		// be converted into lower design points and only rest can
+		// spend it.
+		ds := append(append([]float64(nil), deadlines...), g.MaxTotalTime()*1.1, g.MaxTotalTime()*1.5)
+		t, err := experiments.IdleExtension(g, ds)
+		if err != nil {
+			return err
+		}
+		render(t)
+	case "models":
+		t, err := experiments.ModelComparison(g, deadlines[len(deadlines)-1])
+		if err != nil {
+			return err
+		}
+		render(t)
+	case "synthetic":
+		_, t, err := experiments.SyntheticSuite(experiments.SyntheticConfig{Seed: 1})
+		if err != nil {
+			return err
+		}
+		render(t)
+	default:
+		return fmt.Errorf("unknown experiment %q (try -list)", name)
+	}
+	return nil
+}
+
+func pick(name string) (*taskgraph.Graph, []float64) {
+	switch strings.ToLower(name) {
+	case "g2":
+		return taskgraph.G2(), taskgraph.G2Deadlines
+	default:
+		return taskgraph.G3(), taskgraph.G3Deadlines
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperrepro:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func TestPick(t *testing.T) {
+	g2, ds2 := pick("g2")
+	if g2.N() != 9 || len(ds2) != 3 {
+		t.Fatalf("pick(g2) = %d tasks, %v", g2.N(), ds2)
+	}
+	g3, ds3 := pick("anything-else")
+	if g3.N() != 15 || ds3[2] != 230 {
+		t.Fatalf("pick default = %d tasks, %v", g3.N(), ds3)
+	}
+}
+
+// TestRunEveryExperiment smoke-runs every registered experiment through
+// the same dispatch main uses, into a buffer.
+func TestRunEveryExperiment(t *testing.T) {
+	for _, name := range experiments.Names() {
+		if name == "synthetic" {
+			continue // covered by its own package tests; slow-ish here
+		}
+		var out bytes.Buffer
+		render := func(tab *report.Table) {
+			if err := tab.Render(&out); err != nil {
+				t.Fatalf("%s: render: %v", name, err)
+			}
+		}
+		if err := run(name, "g3", render, &out); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if out.Len() == 0 {
+			t.Fatalf("%s produced no output", name)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	err := run("nonsense", "g3", func(*report.Table) {}, &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("want unknown-experiment error, got %v", err)
+	}
+}

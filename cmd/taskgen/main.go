@@ -1,0 +1,119 @@
+// Command taskgen generates synthetic task graphs with DVS-style design
+// points in the JSON schema cmd/battsched consumes. Shapes follow the
+// structures the scheduling literature uses (the paper's G3 is fork-join).
+//
+// Usage:
+//
+//	taskgen -shape forkjoin -width 4 -depth 1 -tail 8 -m 5 -seed 1 > g.json
+//	taskgen -shape layered -layers 4 -widthl 3 -density 0.4 -m 4 > g.json
+//	taskgen -shape chain -n 10 -m 3 > g.json
+//	taskgen -shape sp -n 15 -m 4 > g.json
+//	taskgen -shape random -n 12 -p 0.3 -m 4 > g.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/dvs"
+	"repro/internal/taskgraph"
+)
+
+// genConfig carries every generation parameter (mirrors the flags).
+type genConfig struct {
+	shape              string
+	n                  int
+	width, depth, tail int
+	layers, widthL     int
+	density, p         float64
+	m                  int
+	seed               int64
+	iLo, iHi, tLo, tHi float64
+}
+
+// evenFactors returns m voltage scaling factors evenly spaced from 1 down
+// to 1/3 (the G3 recipe's span).
+func evenFactors(m int) []float64 {
+	factors := make([]float64, m)
+	for j := 0; j < m; j++ {
+		if m == 1 {
+			factors[j] = 1
+			continue
+		}
+		factors[j] = 1 - float64(j)/float64(m-1)*(1-1.0/3.0)
+	}
+	return factors
+}
+
+// buildGraph generates the graph described by cfg.
+func buildGraph(cfg genConfig) (*taskgraph.Graph, error) {
+	rng := rand.New(rand.NewSource(cfg.seed))
+	recipe := dvs.Recipe{Factors: evenFactors(cfg.m), Rule: dvs.TimeReversedLinear, Round: 1}
+
+	var total int
+	switch strings.ToLower(cfg.shape) {
+	case "chain", "sp", "random":
+		total = cfg.n
+	case "forkjoin":
+		total = 1 + cfg.width*cfg.depth + cfg.tail
+	case "layered":
+		total = cfg.layers * cfg.widthL
+	default:
+		return nil, fmt.Errorf("unknown shape %q", cfg.shape)
+	}
+	refs := dvs.RandomRefs(rng, total, cfg.iLo, cfg.iHi, cfg.tLo, cfg.tHi)
+	points, err := recipe.PointsFunc(refs)
+	if err != nil {
+		return nil, err
+	}
+
+	switch strings.ToLower(cfg.shape) {
+	case "chain":
+		return taskgraph.Chain(cfg.n, points)
+	case "forkjoin":
+		return taskgraph.ForkJoin(cfg.width, cfg.depth, cfg.tail, points)
+	case "layered":
+		return taskgraph.Layered(rng, cfg.layers, cfg.widthL, cfg.density, points)
+	case "sp":
+		return taskgraph.SeriesParallel(rng, cfg.n, points)
+	default: // "random", by the switch above
+		return taskgraph.Random(rng, cfg.n, cfg.p, points)
+	}
+}
+
+func main() {
+	var cfg genConfig
+	flag.StringVar(&cfg.shape, "shape", "forkjoin", "graph shape: chain | forkjoin | layered | sp | random")
+	flag.IntVar(&cfg.n, "n", 12, "task count (chain, sp, random)")
+	flag.IntVar(&cfg.width, "width", 4, "fork-join branch count")
+	flag.IntVar(&cfg.depth, "depth", 1, "fork-join branch depth")
+	flag.IntVar(&cfg.tail, "tail", 8, "fork-join tail length")
+	flag.IntVar(&cfg.layers, "layers", 4, "layered: layer count")
+	flag.IntVar(&cfg.widthL, "widthl", 3, "layered: tasks per layer")
+	flag.Float64Var(&cfg.density, "density", 0.4, "layered: extra edge probability")
+	flag.Float64Var(&cfg.p, "p", 0.3, "random: edge probability")
+	flag.IntVar(&cfg.m, "m", 5, "design points per task")
+	flag.Int64Var(&cfg.seed, "seed", 1, "random seed")
+	flag.Float64Var(&cfg.iLo, "ilo", 300, "reference current low (mA)")
+	flag.Float64Var(&cfg.iHi, "ihi", 950, "reference current high (mA)")
+	flag.Float64Var(&cfg.tLo, "tlo", 3, "reference time low (min)")
+	flag.Float64Var(&cfg.tHi, "thi", 12, "reference time high (min)")
+	flag.Parse()
+
+	g, err := buildGraph(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := g.WriteJSON(os.Stdout, fmt.Sprintf("%s-%d", cfg.shape, cfg.seed)); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "taskgen: %s\n", g.Analyze(0))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "taskgen:", err)
+	os.Exit(1)
+}

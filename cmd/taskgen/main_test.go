@@ -1,0 +1,70 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestEvenFactors(t *testing.T) {
+	f := evenFactors(5)
+	if len(f) != 5 || f[0] != 1 {
+		t.Fatalf("factors = %v", f)
+	}
+	for j := 1; j < len(f); j++ {
+		if f[j] >= f[j-1] {
+			t.Fatalf("factors not strictly decreasing: %v", f)
+		}
+	}
+	if f[4] < 0.32 || f[4] > 0.34 {
+		t.Fatalf("last factor = %g, want ~1/3", f[4])
+	}
+	if g := evenFactors(1); len(g) != 1 || g[0] != 1 {
+		t.Fatalf("single factor = %v", g)
+	}
+}
+
+func TestBuildGraphShapes(t *testing.T) {
+	for _, shape := range []string{"chain", "forkjoin", "layered", "sp", "random"} {
+		cfg := genConfig{
+			shape: shape, n: 10, width: 3, depth: 1, tail: 4,
+			layers: 3, widthL: 3, density: 0.4, p: 0.3, m: 4, seed: 1,
+			iLo: 300, iHi: 900, tLo: 2, tHi: 8,
+		}
+		g, err := buildGraph(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		if g.N() < 2 {
+			t.Fatalf("%s: too few tasks", shape)
+		}
+		if m, ok := g.UniformPointCount(); !ok || m != 4 {
+			t.Fatalf("%s: point count %d,%v", shape, m, ok)
+		}
+		if !g.IsTopoOrder(g.TopoOrder()) {
+			t.Fatalf("%s: invalid graph", shape)
+		}
+	}
+	if _, err := buildGraph(genConfig{shape: "hexagon", m: 2, n: 4, iLo: 1, iHi: 2, tLo: 1, tHi: 2}); err == nil {
+		t.Fatal("unknown shape should error")
+	}
+}
+
+func TestBuildGraphDeterministic(t *testing.T) {
+	cfg := genConfig{shape: "layered", layers: 3, widthL: 3, density: 0.5, m: 3, seed: 9, iLo: 100, iHi: 500, tLo: 1, tHi: 5}
+	a, err := buildGraph(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildGraph(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ae, be := a.Edges(), b.Edges()
+	if len(ae) != len(be) {
+		t.Fatal("edge counts differ across identical seeds")
+	}
+	for k := range ae {
+		if ae[k] != be[k] {
+			t.Fatal("edges differ across identical seeds")
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Fork-join illustrative example (the paper's Section 4.2, graph G3):
+// run the iterative algorithm at deadline 230 with full tracing and print
+// the per-iteration sequences and window costs — the live version of the
+// paper's Tables 2 and 3.
+//
+// Run with: go run ./examples/forkjoin
+package main
+
+import (
+	"fmt"
+	"log"
+
+	battsched "repro"
+)
+
+func main() {
+	g := battsched.G3()
+	fmt.Printf("G3: %d tasks x 5 design points, fork-join; deadline %.0f min, beta %.3f\n\n",
+		g.N(), battsched.G3Deadline, battsched.DefaultBeta)
+
+	res, err := battsched.Run(g, battsched.G3Deadline, battsched.Options{RecordTrace: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(res.Trace.String())
+	fmt.Printf("\nfinal: sigma %.0f mA·min, duration %.1f min, %d iterations\n",
+		res.Cost, res.Duration, res.Iterations)
+	fmt.Printf("paper:  sigma 13737 mA·min, duration 229.8 min, 4 iterations\n\n")
+
+	// Show where the savings come from: the same assignment executed in
+	// the WORST order (increasing currents) wastes measurably more.
+	model := battsched.NewRakhmatov(battsched.DefaultBeta)
+	p := res.Schedule.Profile(g)
+	inc := p.SortedDescending().Reversed()
+	fmt.Printf("same design points, decreasing-current order: sigma %.0f\n", model.ChargeLost(p.SortedDescending(), p.TotalTime()))
+	fmt.Printf("same design points, chosen (precedence-legal) order: sigma %.0f\n", res.Cost)
+	fmt.Printf("same design points, increasing-current order: sigma %.0f\n", model.ChargeLost(inc, inc.TotalTime()))
+	fmt.Println("(the unconstrained decreasing order bounds what any sequencing can achieve)")
+}

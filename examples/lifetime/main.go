@@ -1,0 +1,78 @@
+// Battery model demonstrations (the paper's Section 3): the rate-capacity
+// effect, the recovery effect, and the discharge-order property that
+// motivates battery-aware sequencing. All three are what make plain
+// minimum-energy scheduling suboptimal on real batteries.
+//
+// Run with: go run ./examples/lifetime
+package main
+
+import (
+	"fmt"
+
+	battsched "repro"
+)
+
+func main() {
+	model := battsched.NewRakhmatov(battsched.DefaultBeta)
+	const alpha = 40000.0 // battery capacity, mA·min
+
+	fmt.Println("== rate-capacity effect ==")
+	fmt.Println("an ideal battery would last alpha/I minutes; a real one dies sooner at high rates")
+	fmt.Printf("%8s  %12s  %12s  %9s\n", "I (mA)", "ideal (min)", "RV (min)", "penalty")
+	for _, i := range []float64{50, 100, 200, 400, 800} {
+		ideal := alpha / i
+		p := battsched.Profile{{Current: i, Duration: ideal * 1.01}}
+		rv, died := battsched.Lifetime(model, p, alpha)
+		if !died {
+			rv = ideal
+		}
+		fmt.Printf("%8.0f  %12.1f  %12.1f  %8.1f%%\n", i, ideal, rv, (1-rv/ideal)*100)
+	}
+
+	fmt.Println("\n== recovery effect ==")
+	fmt.Println("inserting rest lets the battery recover charge it had made unavailable")
+	cont := battsched.Profile{{Current: 400, Duration: 40}}
+	pulsed := battsched.Profile{}
+	for k := 0; k < 4; k++ {
+		pulsed = append(pulsed,
+			battsched.Interval{Current: 400, Duration: 10},
+			battsched.Interval{Current: 0, Duration: 10})
+	}
+	sc := model.ChargeLost(cont, cont.TotalTime())
+	sp := model.ChargeLost(pulsed, pulsed.TotalTime())
+	fmt.Printf("continuous 400 mA x 40 min: sigma %.0f mA·min\n", sc)
+	fmt.Printf("pulsed 10 on / 10 off  x 4: sigma %.0f mA·min (%.1f%% less)\n", sp, (sc-sp)/sc*100)
+
+	fmt.Println("\n== discharge-order property ==")
+	fmt.Println("same intervals, different order: decreasing currents lose the least charge")
+	tasks := battsched.Profile{
+		{Current: 600, Duration: 10},
+		{Current: 100, Duration: 10},
+		{Current: 400, Duration: 10},
+		{Current: 250, Duration: 10},
+	}
+	dec := tasks.SortedDescending()
+	inc := dec.Reversed()
+	T := tasks.TotalTime()
+	fmt.Printf("decreasing order: sigma %.0f mA·min\n", model.ChargeLost(dec, T))
+	fmt.Printf("given order:      sigma %.0f mA·min\n", model.ChargeLost(tasks, T))
+	fmt.Printf("increasing order: sigma %.0f mA·min\n", model.ChargeLost(inc, T))
+
+	fmt.Println("\n== why it matters: identical energy, different lifetimes ==")
+	fmt.Println("all orders deliver the same charge; only the battery's nonlinearity separates them")
+	fmt.Printf("delivered charge (all orders): %.0f mA·min\n", tasks.DeliveredCharge(T))
+	const alpha30 = 30000.0
+	for _, tc := range []struct {
+		name string
+		p    battsched.Profile
+	}{{"decreasing", dec}, {"increasing", inc}} {
+		if t, died := battsched.Lifetime(model, tc.p, alpha30); died {
+			fmt.Printf("alpha=%.0f battery under %s order: DIES at %.1f min\n", alpha30, tc.name, t)
+		} else {
+			fmt.Printf("alpha=%.0f battery under %s order: survives all %.0f min\n", alpha30, tc.name, T)
+		}
+	}
+	fmt.Println("\n(caveat the schedulers must respect: the decreasing order minimizes sigma at")
+	fmt.Println(" completion but front-loads the discharge — on a much smaller battery it can")
+	fmt.Println(" die during its early burst while the increasing order limps further)")
+}

@@ -1,0 +1,167 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/battery"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// AnnealOptions configures the simulated-annealing comparator. The zero
+// value selects moderate defaults.
+type AnnealOptions struct {
+	// Iterations is the number of proposed moves (default 20000).
+	Iterations int
+	// StartTemp and EndTemp bound the geometric cooling schedule as
+	// fractions of the initial cost (defaults 0.05 and 1e-4).
+	StartTemp, EndTemp float64
+	// Seed makes the run reproducible.
+	Seed int64
+	// DeadlinePenalty scales the per-minute penalty for deadline
+	// violations during the walk (default: the graph's peak current, so
+	// violations always cost more than any recoverable charge).
+	DeadlinePenalty float64
+}
+
+func (o AnnealOptions) withDefaults(g *taskgraph.Graph) AnnealOptions {
+	if o.Iterations == 0 {
+		o.Iterations = 20000
+	}
+	if o.StartTemp == 0 {
+		o.StartTemp = 0.05
+	}
+	if o.EndTemp == 0 {
+		o.EndTemp = 1e-4
+	}
+	if o.DeadlinePenalty == 0 {
+		_, iMax := g.CurrentRange()
+		o.DeadlinePenalty = 10 * iMax
+	}
+	return o
+}
+
+// Anneal searches (order, assignment) space with simulated annealing. The
+// paper dismisses SA as too heavy for on-device use; it is implemented here
+// as an off-line quality yardstick for the iterative heuristic. Moves are
+// (a) reassigning a random task to a random design point and (b) swapping
+// two adjacent sequence entries when precedence allows. Infeasible states
+// are admitted with a steep per-minute deadline penalty so the walk can
+// cross feasibility boundaries; the returned schedule is always feasible.
+func Anneal(g *taskgraph.Graph, deadline float64, m battery.Model, opts AnnealOptions) (*sched.Schedule, float64, error) {
+	o := opts.withDefaults(g)
+	rng := rand.New(rand.NewSource(o.Seed))
+	n := g.N()
+
+	// Start from a feasible schedule: lowest-power-feasible greedy.
+	start, err := LowestPowerFeasible(g, deadline)
+	if err != nil {
+		return nil, 0, err
+	}
+	order := make([]int, n) // dense indices
+	for k, id := range start.Order {
+		i, _ := g.Index(id)
+		order[k] = i
+	}
+	assign := make([]int, n)
+	for id, j := range start.Assignment {
+		i, _ := g.Index(id)
+		assign[i] = j
+	}
+
+	profile := make(battery.Profile, n)
+	evalCost := func(order, assign []int) float64 {
+		var total float64
+		for k, i := range order {
+			p := g.TaskAt(i).Points[assign[i]]
+			profile[k] = battery.Interval{Current: p.Current, Duration: p.Time}
+			total += p.Time
+		}
+		c := m.ChargeLost(profile, total)
+		if total > deadline {
+			c += o.DeadlinePenalty * (total - deadline)
+		}
+		return c
+	}
+
+	cur := evalCost(order, assign)
+	bestOrder := append([]int(nil), order...)
+	bestAssign := append([]int(nil), assign...)
+	bestCost := cur
+	t0 := o.StartTemp * cur
+	t1 := o.EndTemp * cur
+	if t0 <= 0 || t1 <= 0 || t1 > t0 {
+		return nil, 0, fmt.Errorf("baseline: bad annealing temperatures start=%g end=%g", t0, t1)
+	}
+	cool := math.Pow(t1/t0, 1/float64(o.Iterations))
+
+	// Precedence test for adjacent swaps: swapping order[k] and
+	// order[k+1] is legal iff there is no edge order[k] -> order[k+1].
+	hasEdge := func(a, b int) bool {
+		for _, v := range g.ChildIndices(a) {
+			if v == b {
+				return true
+			}
+		}
+		return false
+	}
+
+	temp := t0
+	for it := 0; it < o.Iterations; it++ {
+		var undo func()
+		if n > 1 && rng.Intn(2) == 0 {
+			k := rng.Intn(n - 1)
+			if hasEdge(order[k], order[k+1]) {
+				temp *= cool
+				continue
+			}
+			order[k], order[k+1] = order[k+1], order[k]
+			undo = func() { order[k], order[k+1] = order[k+1], order[k] }
+		} else {
+			i := rng.Intn(n)
+			pts := g.TaskAt(i).Points
+			if len(pts) == 1 {
+				temp *= cool
+				continue
+			}
+			j := rng.Intn(len(pts))
+			if j == assign[i] {
+				j = (j + 1) % len(pts)
+			}
+			old := assign[i]
+			assign[i] = j
+			undo = func() { assign[i] = old }
+		}
+		cand := evalCost(order, assign)
+		if cand <= cur || rng.Float64() < math.Exp((cur-cand)/temp) {
+			cur = cand
+			if cand < bestCost && feasible(g, order, assign, deadline) {
+				bestCost = cand
+				copy(bestOrder, order)
+				copy(bestAssign, assign)
+			}
+		} else {
+			undo()
+		}
+		temp *= cool
+	}
+
+	out := &sched.Schedule{Order: make([]int, n), Assignment: make(map[int]int, n)}
+	for k, i := range bestOrder {
+		out.Order[k] = g.IDAt(i)
+	}
+	for i, j := range bestAssign {
+		out.Assignment[g.IDAt(i)] = j
+	}
+	return out, bestCost, nil
+}
+
+func feasible(g *taskgraph.Graph, order, assign []int, deadline float64) bool {
+	var total float64
+	for _, i := range order {
+		total += g.TaskAt(i).Points[assign[i]].Time
+	}
+	return total <= deadline+1e-9
+}

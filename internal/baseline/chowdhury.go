@@ -1,0 +1,49 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// ChowdhurySchedule implements the simplified heuristic of reference [7]
+// (Chowdhury & Chakrabarti) as the paper characterizes it: start from the
+// fastest design points and, walking from the LAST task in the schedule
+// toward the first, lower each task's voltage level as far as the deadline
+// slack allows. Reference [7]'s own result — slack is better spent on later
+// tasks than earlier ones — is exactly why the walk starts at the back.
+//
+// The order defaults to the graph's deterministic topological order; pass a
+// non-nil order to control it (it must be a topological order).
+func ChowdhurySchedule(g *taskgraph.Graph, deadline float64, order []int) (*sched.Schedule, error) {
+	if order == nil {
+		order = g.TopoOrder()
+	}
+	if !g.IsTopoOrder(order) {
+		return nil, fmt.Errorf("baseline: order is not a topological order")
+	}
+	assign := make(map[int]int, g.N())
+	total := 0.0
+	for _, id := range order {
+		assign[id] = 0
+		total += g.Task(id).Points[0].Time
+	}
+	const eps = 1e-9
+	if total > deadline+eps {
+		return nil, ErrInfeasible
+	}
+	for k := len(order) - 1; k >= 0; k-- {
+		id := order[k]
+		pts := g.Task(id).Points
+		for assign[id]+1 < len(pts) {
+			grow := pts[assign[id]+1].Time - pts[assign[id]].Time
+			if total+grow > deadline+eps {
+				break
+			}
+			assign[id]++
+			total += grow
+		}
+	}
+	return &sched.Schedule{Order: append([]int(nil), order...), Assignment: assign}, nil
+}

@@ -1,0 +1,195 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/battery"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// OptimalOptions bounds the exhaustive search.
+type OptimalOptions struct {
+	// MaxTasks rejects graphs larger than this (default 12): the search
+	// space is (topological orders) × m^n.
+	MaxTasks int
+	// MaxNodesVisited aborts the search after this many search-tree
+	// nodes (default 20 million) to keep the oracle usable in tests.
+	MaxNodesVisited int64
+}
+
+func (o OptimalOptions) withDefaults() OptimalOptions {
+	if o.MaxTasks == 0 {
+		o.MaxTasks = 12
+	}
+	if o.MaxNodesVisited == 0 {
+		o.MaxNodesVisited = 20_000_000
+	}
+	return o
+}
+
+// Optimal finds the true minimum-sigma schedule by branch-and-bound over
+// every (topological order, design-point assignment) pair. It is the
+// validation oracle for the heuristics on small instances.
+//
+// Pruning uses two sound bounds: (1) remaining fastest times must fit the
+// deadline; (2) sigma at completion is at least the delivered charge, so
+// partial-delivered + minimum-remaining-energy below the incumbent is
+// required to continue.
+func Optimal(g *taskgraph.Graph, deadline float64, m battery.Model, opts OptimalOptions) (*sched.Schedule, float64, error) {
+	o := opts.withDefaults()
+	n := g.N()
+	if n > o.MaxTasks {
+		return nil, 0, fmt.Errorf("baseline: graph has %d tasks, exhaustive search capped at %d", n, o.MaxTasks)
+	}
+	const eps = 1e-9
+	if g.MinTotalTime() > deadline+eps {
+		return nil, 0, ErrInfeasible
+	}
+
+	// Per-task fastest time and minimum energy, for the bounds.
+	minT := make([]float64, n)
+	minE := make([]float64, n)
+	for i := 0; i < n; i++ {
+		pts := g.TaskAt(i).Points
+		minT[i] = pts[0].Time
+		minE[i] = pts[0].Energy()
+		for _, p := range pts[1:] {
+			if p.Time < minT[i] {
+				minT[i] = p.Time
+			}
+			if e := p.Energy(); e < minE[i] {
+				minE[i] = e
+			}
+		}
+	}
+
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = len(g.ParentIndices(i))
+	}
+	orderBuf := make([]int, 0, n)
+	assignBuf := make([]int, n)
+	profile := make(battery.Profile, 0, n)
+
+	bestCost := math.Inf(1)
+	var bestOrder []int
+	var bestAssign []int
+	var visited int64
+	var remT, remE float64
+	for i := 0; i < n; i++ {
+		remT += minT[i]
+		remE += minE[i]
+	}
+
+	var search func(placed int, elapsed, delivered float64) error
+	search = func(placed int, elapsed, delivered float64) error {
+		visited++
+		if visited > o.MaxNodesVisited {
+			return fmt.Errorf("baseline: exhaustive search exceeded %d nodes", o.MaxNodesVisited)
+		}
+		if placed == n {
+			if elapsed > deadline+eps {
+				return nil
+			}
+			p := profile
+			cost := m.ChargeLost(p, elapsed)
+			if cost < bestCost {
+				bestCost = cost
+				bestOrder = append(bestOrder[:0], orderBuf...)
+				bestAssign = append(bestAssign[:0], assignBuf...)
+			}
+			return nil
+		}
+		if elapsed+remT > deadline+eps {
+			return nil
+		}
+		if delivered+remE >= bestCost {
+			return nil // sigma >= delivered charge, so no improvement possible
+		}
+		for i := 0; i < n; i++ {
+			if indeg[i] != 0 {
+				continue
+			}
+			// Place task i next with each design point.
+			indeg[i] = -1 // mark placed
+			for _, v := range g.ChildIndices(i) {
+				indeg[v]--
+			}
+			orderBuf = append(orderBuf, i)
+			remT -= minT[i]
+			remE -= minE[i]
+			for j, p := range g.TaskAt(i).Points {
+				assignBuf[i] = j
+				profile = append(profile, battery.Interval{Current: p.Current, Duration: p.Time})
+				if err := search(placed+1, elapsed+p.Time, delivered+p.Energy()); err != nil {
+					return err
+				}
+				profile = profile[:len(profile)-1]
+			}
+			remT += minT[i]
+			remE += minE[i]
+			orderBuf = orderBuf[:len(orderBuf)-1]
+			for _, v := range g.ChildIndices(i) {
+				indeg[v]++
+			}
+			indeg[i] = 0
+		}
+		return nil
+	}
+	if err := search(0, 0, 0); err != nil {
+		return nil, 0, err
+	}
+	if bestOrder == nil {
+		return nil, 0, ErrInfeasible
+	}
+	out := &sched.Schedule{Order: make([]int, n), Assignment: make(map[int]int, n)}
+	for k, i := range bestOrder {
+		out.Order[k] = g.IDAt(i)
+	}
+	for i, j := range bestAssign {
+		out.Assignment[g.IDAt(i)] = j
+	}
+	return out, bestCost, nil
+}
+
+// CountTopoOrders counts the topological orders of the graph up to limit
+// (it stops counting there); useful for sizing exhaustive runs in tests.
+func CountTopoOrders(g *taskgraph.Graph, limit int64) int64 {
+	n := g.N()
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = len(g.ParentIndices(i))
+	}
+	var count int64
+	var walk func(placed int)
+	walk = func(placed int) {
+		if count >= limit {
+			return
+		}
+		if placed == n {
+			count++
+			return
+		}
+		for i := 0; i < n; i++ {
+			if indeg[i] != 0 {
+				continue
+			}
+			indeg[i] = -1
+			for _, v := range g.ChildIndices(i) {
+				indeg[v]--
+			}
+			walk(placed + 1)
+			for _, v := range g.ChildIndices(i) {
+				indeg[v]++
+			}
+			indeg[i] = 0
+			if count >= limit {
+				return
+			}
+		}
+	}
+	walk(0)
+	return count
+}

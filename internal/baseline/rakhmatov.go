@@ -1,0 +1,230 @@
+// Package baseline implements the comparison algorithms the paper measures
+// its heuristic against, plus validation oracles:
+//
+//   - The Rakhmatov–Vrudhula approach of reference [1]: a dynamic program
+//     that picks design points minimizing total energy under the deadline,
+//     followed by a greedy sequencing using Equation 5 weights.
+//   - The Chowdhury–Chakrabarti-style heuristic of reference [7]: scale
+//     tasks down as far as possible starting from the last task in the
+//     schedule.
+//   - A branch-and-bound exhaustive search over (sequence, assignment)
+//     pairs that yields the true sigma-optimal schedule on small instances.
+//   - Naive baselines (all-fastest; lowest-power-feasible).
+//   - Simulated annealing, the kind of heavier search the paper argues is
+//     impractical on an embedded platform, included as a quality yardstick.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/battery"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// ErrInfeasible is returned when no assignment meets the deadline.
+var ErrInfeasible = errors.New("baseline: deadline cannot be met even with the fastest design points")
+
+// timeScale finds an integer grid for the dynamic program: the smallest
+// power of ten that makes every design-point time (and the deadline) an
+// integer within tolerance. The paper's tables use a 0.1-minute grid. If no
+// grid up to maxScale fits exactly, the coarsest safe rounding is used:
+// times round UP and the deadline rounds DOWN, so the DP never reports an
+// infeasible schedule as feasible.
+func timeScale(g *taskgraph.Graph, deadline float64, maxScale int) int {
+	const tol = 1e-6
+	scale := 1
+	for scale <= maxScale {
+		ok := true
+		check := func(v float64) bool {
+			sv := v * float64(scale)
+			return math.Abs(sv-math.Round(sv)) < tol
+		}
+		for i := 0; i < g.N() && ok; i++ {
+			for _, p := range g.TaskAt(i).Points {
+				if !check(p.Time) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok && check(deadline) {
+			return scale
+		}
+		scale *= 10
+	}
+	return maxScale
+}
+
+// MinEnergyAssignment solves the design-point selection problem of
+// reference [1] exactly: choose one design point per task so that the total
+// execution time fits the deadline and the total charge-energy (sum of I·t)
+// is minimal. It is a multiple-choice knapsack solved by dynamic
+// programming over a discretized time axis (exact for the paper's
+// 0.1-minute data). The returned map is task ID → 0-based design point.
+func MinEnergyAssignment(g *taskgraph.Graph, deadline float64) (map[int]int, error) {
+	if deadline <= 0 {
+		return nil, fmt.Errorf("baseline: deadline must be positive, got %g", deadline)
+	}
+	n := g.N()
+	scale := timeScale(g, deadline, 1000)
+	budget := int(math.Floor(deadline*float64(scale) + 1e-9))
+	// Integer durations, rounded up so feasibility is never overstated.
+	dur := make([][]int, n)
+	for i := 0; i < n; i++ {
+		pts := g.TaskAt(i).Points
+		dur[i] = make([]int, len(pts))
+		for j, p := range pts {
+			dur[i][j] = int(math.Ceil(p.Time*float64(scale) - 1e-9))
+		}
+	}
+
+	const inf = math.MaxFloat64
+	// best[t] = minimal energy of the tasks processed so far finishing
+	// within t grid units; choice[i][t] = design point picked for task i
+	// at budget t on an optimal path.
+	best := make([]float64, budget+1)
+	next := make([]float64, budget+1)
+	choice := make([][]int16, n)
+	for i := range choice {
+		choice[i] = make([]int16, budget+1)
+	}
+	for t := range best {
+		best[t] = 0
+	}
+	for i := 0; i < n; i++ {
+		pts := g.TaskAt(i).Points
+		for t := 0; t <= budget; t++ {
+			next[t] = inf
+			choice[i][t] = -1
+			for j := range pts {
+				d := dur[i][j]
+				if d > t {
+					continue
+				}
+				if prev := best[t-d]; prev < inf {
+					if e := prev + pts[j].Energy(); e < next[t] {
+						next[t] = e
+						choice[i][t] = int16(j)
+					}
+				}
+			}
+		}
+		best, next = next, best
+	}
+	if best[budget] >= inf {
+		return nil, ErrInfeasible
+	}
+	// Reconstruct the optimal choices from the last task backwards.
+	assign := make(map[int]int, n)
+	t := budget
+	// The DP used best[t] non-increasing in t, but we tracked exact
+	// budgets; walk down to the tightest achieving budget first.
+	for tt := 0; tt <= budget; tt++ {
+		if best[tt] <= best[t] {
+			t = tt
+			break
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		j := int(choice[i][t])
+		if j < 0 {
+			return nil, fmt.Errorf("baseline: internal error reconstructing DP solution at task index %d", i)
+		}
+		assign[g.IDAt(i)] = j
+		t -= dur[i][j]
+	}
+	return assign, nil
+}
+
+// Eq5Sequence is the greedy sequencing of reference [1] as the paper
+// describes it: each task v gets weight w(v) = max{I_v, MeanI(G_v)} where
+// I_v is the assigned design point's current and MeanI averages the
+// assigned currents over the subgraph rooted at v; ready tasks are emitted
+// largest weight first (ties by smaller ID).
+func Eq5Sequence(g *taskgraph.Graph, assignment map[int]int) ([]int, error) {
+	n := g.N()
+	cur := make([]float64, n)
+	for i := 0; i < n; i++ {
+		id := g.IDAt(i)
+		j, ok := assignment[id]
+		if !ok {
+			return nil, fmt.Errorf("baseline: assignment missing task %d", id)
+		}
+		pts := g.TaskAt(i).Points
+		if j < 0 || j >= len(pts) {
+			return nil, fmt.Errorf("baseline: task %d assigned out-of-range design point %d", id, j)
+		}
+		cur[i] = pts[j].Current
+	}
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		reach := g.ReachableIndices(i)
+		var sum float64
+		for _, u := range reach {
+			sum += cur[u]
+		}
+		mean := sum / float64(len(reach))
+		w[i] = math.Max(cur[i], mean)
+	}
+	return listScheduleByWeight(g, w), nil
+}
+
+// RakhmatovSchedule runs the full baseline of reference [1] as compared in
+// the paper's Table 4: exact minimum-energy design-point selection under
+// the deadline, then Equation-5 greedy sequencing.
+func RakhmatovSchedule(g *taskgraph.Graph, deadline float64) (*sched.Schedule, error) {
+	assign, err := MinEnergyAssignment(g, deadline)
+	if err != nil {
+		return nil, err
+	}
+	order, err := Eq5Sequence(g, assign)
+	if err != nil {
+		return nil, err
+	}
+	return &sched.Schedule{Order: order, Assignment: assign}, nil
+}
+
+// listScheduleByWeight emits ready tasks largest-weight-first (ties by
+// smaller task ID), producing a topological order.
+func listScheduleByWeight(g *taskgraph.Graph, weight []float64) []int {
+	n := g.N()
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = len(g.ParentIndices(i))
+	}
+	ready := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(ready) > 0 {
+		pick := 0
+		for k := 1; k < len(ready); k++ {
+			a, b := ready[k], ready[pick]
+			if weight[a] > weight[b] || (weight[a] == weight[b] && g.IDAt(a) < g.IDAt(b)) {
+				pick = k
+			}
+		}
+		u := ready[pick]
+		ready = append(ready[:pick], ready[pick+1:]...)
+		order = append(order, g.IDAt(u))
+		for _, v := range g.ChildIndices(u) {
+			indeg[v]--
+			if indeg[v] == 0 {
+				ready = append(ready, v)
+			}
+		}
+	}
+	return order
+}
+
+// Cost evaluates sigma at completion for a schedule under the model — the
+// number Table 4 compares.
+func Cost(g *taskgraph.Graph, s *sched.Schedule, m battery.Model) float64 {
+	return s.Cost(g, m)
+}

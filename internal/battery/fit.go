@@ -1,0 +1,128 @@
+package battery
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Observation is one measured constant-current discharge: the battery
+// sustained Current (mA) for Lifetime minutes before cutoff. Datasheets
+// and bench measurements provide exactly these pairs; FitRakhmatov turns
+// them into model parameters the scheduler can use.
+type Observation struct {
+	Current  float64 // mA, > 0
+	Lifetime float64 // minutes, > 0
+}
+
+// FitRakhmatov estimates (alpha, beta) for the Rakhmatov model from
+// constant-current lifetime measurements, following the calibration
+// procedure of the original model paper: for the correct beta, the
+// quantity sigma(L_i) = I_i·[L_i + 2Σ(1−e^{−β²m²L_i})/(β²m²)] is the same
+// battery capacity alpha for every observation, so we pick the beta that
+// minimizes the spread of those estimates (log-space golden-section over
+// a generous bracket) and return their mean as alpha.
+//
+// At least two observations at different currents are required — a single
+// observation cannot separate capacity from the rate penalty.
+func FitRakhmatov(obs []Observation) (alpha, beta float64, err error) {
+	if len(obs) < 2 {
+		return 0, 0, fmt.Errorf("battery: need at least 2 observations, got %d", len(obs))
+	}
+	seen := map[float64]bool{}
+	for k, o := range obs {
+		if o.Current <= 0 || o.Lifetime <= 0 || math.IsNaN(o.Current) || math.IsNaN(o.Lifetime) {
+			return 0, 0, fmt.Errorf("battery: observation %d must have positive current and lifetime", k)
+		}
+		seen[o.Current] = true
+	}
+	if len(seen) < 2 {
+		return 0, 0, fmt.Errorf("battery: observations must cover at least 2 distinct currents")
+	}
+
+	alphasFor := func(b float64) []float64 {
+		m := Rakhmatov{Beta: b, Terms: DefaultTerms}
+		out := make([]float64, len(obs))
+		for k, o := range obs {
+			out[k] = m.ConstantLoadSigma(o.Current, o.Lifetime)
+		}
+		return out
+	}
+	spread := func(b float64) float64 {
+		as := alphasFor(b)
+		var mean float64
+		for _, a := range as {
+			mean += a
+		}
+		mean /= float64(len(as))
+		var ss float64
+		for _, a := range as {
+			d := (a - mean) / mean // relative, so large batteries don't dominate
+			ss += d * d
+		}
+		return ss
+	}
+
+	// The spread is not unimodal in beta (it flattens as beta -> 0,
+	// where sigma degenerates to a constant multiple of I·L), so a
+	// bare golden-section search can converge into the wrong basin.
+	// Scan a dense log-spaced grid first, then refine around the best
+	// grid point with golden section.
+	logLo, logHi := math.Log(1e-4), math.Log(1e2)
+	const gridN = 600
+	bestIdx, bestF := 0, math.Inf(1)
+	for i := 0; i <= gridN; i++ {
+		lb := logLo + (logHi-logLo)*float64(i)/gridN
+		if f := spread(math.Exp(lb)); f < bestF {
+			bestF = f
+			bestIdx = i
+		}
+	}
+	step := (logHi - logLo) / gridN
+	lo := logLo + step*float64(bestIdx-1)
+	hi := logLo + step*float64(bestIdx+1)
+	if lo < logLo {
+		lo = logLo
+	}
+	if hi > logHi {
+		hi = logHi
+	}
+	const phi = 0.6180339887498949
+	a1 := hi - phi*(hi-lo)
+	a2 := lo + phi*(hi-lo)
+	f1, f2 := spread(math.Exp(a1)), spread(math.Exp(a2))
+	for i := 0; i < 200 && hi-lo > 1e-10; i++ {
+		if f1 < f2 {
+			hi, a2, f2 = a2, a1, f1
+			a1 = hi - phi*(hi-lo)
+			f1 = spread(math.Exp(a1))
+		} else {
+			lo, a1, f1 = a1, a2, f2
+			a2 = lo + phi*(hi-lo)
+			f2 = spread(math.Exp(a2))
+		}
+	}
+	beta = math.Exp((lo + hi) / 2)
+	as := alphasFor(beta)
+	sort.Float64s(as)
+	for _, a := range as {
+		alpha += a
+	}
+	alpha /= float64(len(as))
+	return alpha, beta, nil
+}
+
+// PredictLifetimes returns the model's constant-current lifetimes for the
+// observed currents — the residual check after fitting.
+func PredictLifetimes(alpha, beta float64, obs []Observation) ([]float64, error) {
+	m := NewRakhmatov(beta)
+	out := make([]float64, len(obs))
+	for k, o := range obs {
+		t, err := ConstantLoadLifetime(m, o.Current, alpha)
+		if err != nil {
+			return nil, fmt.Errorf("battery: predicting observation %d: %w", k, err)
+		}
+		out[k] = t
+	}
+	return out, nil
+}

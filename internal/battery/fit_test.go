@@ -1,0 +1,106 @@
+package battery
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFitRakhmatovRoundTrip generates lifetimes from a known model and
+// recovers (alpha, beta) from them.
+func TestFitRakhmatovRoundTrip(t *testing.T) {
+	trueBeta := 0.273
+	trueAlpha := 40000.0
+	m := NewRakhmatov(trueBeta)
+	var obs []Observation
+	for _, i := range []float64{50, 100, 200, 400, 800} {
+		l, err := ConstantLoadLifetime(m, i, trueAlpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs = append(obs, Observation{Current: i, Lifetime: l})
+	}
+	alpha, beta, err := FitRakhmatov(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(beta-trueBeta)/trueBeta > 0.01 {
+		t.Errorf("beta = %g, want %g", beta, trueBeta)
+	}
+	if math.Abs(alpha-trueAlpha)/trueAlpha > 0.01 {
+		t.Errorf("alpha = %g, want %g", alpha, trueAlpha)
+	}
+	// Predicted lifetimes must match the observations closely.
+	pred, err := PredictLifetimes(alpha, beta, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range obs {
+		if math.Abs(pred[k]-obs[k].Lifetime)/obs[k].Lifetime > 0.02 {
+			t.Errorf("obs %d: predicted %g, measured %g", k, pred[k], obs[k].Lifetime)
+		}
+	}
+}
+
+// TestFitRakhmatovNoisy adds measurement noise; the fit should still land
+// near the truth.
+func TestFitRakhmatovNoisy(t *testing.T) {
+	m := NewRakhmatov(0.3)
+	noise := []float64{1.03, 0.98, 1.01, 0.97}
+	currents := []float64{80, 160, 320, 640}
+	var obs []Observation
+	for k, i := range currents {
+		l, err := ConstantLoadLifetime(m, i, 30000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs = append(obs, Observation{Current: i, Lifetime: l * noise[k]})
+	}
+	alpha, beta, err := FitRakhmatov(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beta < 0.15 || beta > 0.6 {
+		t.Errorf("beta = %g, want near 0.3", beta)
+	}
+	if alpha < 25000 || alpha > 36000 {
+		t.Errorf("alpha = %g, want near 30000", alpha)
+	}
+}
+
+// TestFitRakhmatovIdealBattery: lifetimes exactly inverse in current mean
+// no rate-capacity effect, so the fitted beta should run to the top of
+// the bracket (stiff battery ≈ ideal).
+func TestFitRakhmatovIdealBattery(t *testing.T) {
+	var obs []Observation
+	for _, i := range []float64{100, 200, 400} {
+		obs = append(obs, Observation{Current: i, Lifetime: 10000 / i})
+	}
+	alpha, beta, err := FitRakhmatov(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beta < 10 {
+		t.Errorf("ideal data should fit a very large beta, got %g", beta)
+	}
+	if math.Abs(alpha-10000)/10000 > 0.01 {
+		t.Errorf("alpha = %g, want 10000", alpha)
+	}
+}
+
+func TestFitRakhmatovValidation(t *testing.T) {
+	if _, _, err := FitRakhmatov(nil); err == nil {
+		t.Error("empty observations should error")
+	}
+	if _, _, err := FitRakhmatov([]Observation{{100, 10}}); err == nil {
+		t.Error("single observation should error")
+	}
+	if _, _, err := FitRakhmatov([]Observation{{100, 10}, {100, 12}}); err == nil {
+		t.Error("single distinct current should error")
+	}
+	if _, _, err := FitRakhmatov([]Observation{{100, 10}, {-5, 12}}); err == nil {
+		t.Error("negative current should error")
+	}
+	if _, _, err := FitRakhmatov([]Observation{{100, 10}, {200, 0}}); err == nil {
+		t.Error("zero lifetime should error")
+	}
+}

@@ -1,0 +1,19 @@
+package battery
+
+// Ideal is the linear coulomb-counting battery model: the apparent charge
+// lost equals the delivered charge, with no rate-capacity or recovery
+// effects. It is the limit of the Rakhmatov model as beta grows, and the
+// assumption implicit in conventional (battery-unaware) low-energy
+// scheduling. Under this model the paper's problem reduces to plain energy
+// minimization, which is exactly what baseline [1]'s dynamic program
+// optimizes — making Ideal the right lens for explaining where the two
+// algorithms diverge.
+type Ideal struct{}
+
+// Name implements Model.
+func (Ideal) Name() string { return "ideal" }
+
+// ChargeLost implements Model: it returns the delivered charge by `at`.
+func (Ideal) ChargeLost(p Profile, at float64) float64 {
+	return p.DeliveredCharge(at)
+}

@@ -1,0 +1,171 @@
+package battery
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func kb() KiBaM { return NewKiBaM(40000, 0.6, 0.05) }
+
+func TestKiBaMZeroAtStart(t *testing.T) {
+	p := Profile{{Current: 100, Duration: 10}}
+	if got := kb().ChargeLost(p, 0); got != 0 {
+		t.Fatalf("sigma(0) = %g", got)
+	}
+}
+
+func TestKiBaMIdealLimitAtCOne(t *testing.T) {
+	m := NewKiBaM(40000, 1, 0.05)
+	p := Profile{{Current: 300, Duration: 7}, {Current: 50, Duration: 20}}
+	for _, at := range []float64{3, 10, 27} {
+		if got, want := m.ChargeLost(p, at), p.DeliveredCharge(at); !almost(got, want, 1e-9) {
+			t.Fatalf("C=1 sigma(%g) = %g, want delivered %g", at, got, want)
+		}
+	}
+}
+
+func TestKiBaMSigmaExceedsDelivered(t *testing.T) {
+	m := kb()
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(5) + 1
+		p := make(Profile, n)
+		for k := range p {
+			p[k] = Interval{Current: rng.Float64() * 400, Duration: rng.Float64()*15 + 0.1}
+		}
+		for _, frac := range []float64{0.3, 1.0} {
+			at := p.TotalTime() * frac
+			if m.ChargeLost(p, at) < p.DeliveredCharge(at)-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKiBaMRecovery(t *testing.T) {
+	m := kb()
+	p := Profile{{Current: 500, Duration: 20}}
+	end := p.TotalTime()
+	sEnd := m.ChargeLost(p, end)
+	sRested := m.ChargeLost(p, end+60)
+	if sRested >= sEnd {
+		t.Fatalf("no recovery: %g -> %g", sEnd, sRested)
+	}
+	// Long-run: wells re-equilibrate, sigma -> delivered charge.
+	if s := m.ChargeLost(p, end+1e5); !almost(s, p.DeliveredCharge(end), 1e-3) {
+		t.Fatalf("sigma(inf) = %g, want %g", s, p.DeliveredCharge(end))
+	}
+}
+
+func TestKiBaMRateCapacity(t *testing.T) {
+	m := kb()
+	slow := Profile{{Current: 100, Duration: 40}}
+	fast := Profile{{Current: 400, Duration: 10}}
+	if m.ChargeLost(fast, 10) <= m.ChargeLost(slow, 40) {
+		t.Fatal("KiBaM should penalize the higher rate")
+	}
+}
+
+func TestKiBaMDeath(t *testing.T) {
+	m := NewKiBaM(1000, 0.5, 0.01)
+	// Draw hard: available well is 500 mA·min; a 300 mA load empties it
+	// shortly after 500/300 ≈ 1.67 min (the bound well trickles a bit).
+	p := Profile{{Current: 300, Duration: 10}}
+	tDie, died := Lifetime(m, p, m.Capacity, LifetimeOptions{})
+	if !died {
+		t.Fatal("battery should die")
+	}
+	if tDie < 500.0/300 || tDie > 4 {
+		t.Fatalf("death at %g, want shortly after %.2f", tDie, 500.0/300)
+	}
+	// An ideal battery of the same capacity lasts 1000/300 = 3.33 min;
+	// KiBaM must die no later.
+	ideal, _ := Lifetime(Ideal{}, p, m.Capacity, LifetimeOptions{})
+	if tDie > ideal {
+		t.Fatalf("KiBaM died at %g after ideal %g", tDie, ideal)
+	}
+	// After death sigma stays pinned at capacity while load continues.
+	if s := m.ChargeLost(p, tDie+1); s < m.Capacity-1e-9 {
+		t.Fatalf("sigma dropped below capacity after death: %g", s)
+	}
+}
+
+func TestKiBaMPulsedOutlastsContinuous(t *testing.T) {
+	// The classic KiBaM demonstration: a pulsed load delivers the same
+	// charge with lower sigma than a continuous one.
+	m := kb()
+	cont := Profile{{Current: 400, Duration: 40}}
+	var pulsed Profile
+	for k := 0; k < 4; k++ {
+		pulsed = append(pulsed, Interval{Current: 400, Duration: 10}, Interval{Current: 0, Duration: 10})
+	}
+	sc := m.ChargeLost(cont, cont.TotalTime())
+	sp := m.ChargeLost(pulsed, pulsed.TotalTime())
+	if sp >= sc {
+		t.Fatalf("pulsed %g should beat continuous %g", sp, sc)
+	}
+}
+
+func TestKiBaMAvailableCharge(t *testing.T) {
+	m := kb()
+	p := Profile{{Current: 200, Duration: 10}}
+	q1start := m.AvailableCharge(p, 0)
+	if !almost(q1start, m.Capacity*m.C, 1e-9) {
+		t.Fatalf("initial available = %g, want %g", q1start, m.Capacity*m.C)
+	}
+	q1end := m.AvailableCharge(p, 10)
+	if q1end >= q1start {
+		t.Fatal("available charge should drop under load")
+	}
+}
+
+func TestKiBaMDecreasingOrderStillBest(t *testing.T) {
+	// The ordering property the scheduler exploits holds for KiBaM too.
+	m := kb()
+	p := Profile{
+		{Current: 500, Duration: 8}, {Current: 80, Duration: 8},
+		{Current: 300, Duration: 8}, {Current: 150, Duration: 8},
+	}
+	dec := p.SortedDescending()
+	inc := dec.Reversed()
+	T := p.TotalTime()
+	if m.ChargeLost(dec, T) > m.ChargeLost(inc, T) {
+		t.Fatal("decreasing order should not lose to increasing under KiBaM")
+	}
+}
+
+func TestNewKiBaMPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewKiBaM(0, 0.5, 0.1) },
+		func() { NewKiBaM(100, 0, 0.1) },
+		func() { NewKiBaM(100, 1.5, 0.1) },
+		func() { NewKiBaM(100, 0.5, 0) },
+		func() { NewKiBaM(math.NaN(), 0.5, 0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic")
+				}
+			}()
+			f()
+		}()
+	}
+	if kb().Name() == "" {
+		t.Fatal("name empty")
+	}
+}
+
+// TestKiBaMAsSchedulerCost plugs KiBaM in as the scheduler's cost
+// function through the Model seam (integration smoke test lives in the
+// core package; here we just confirm interface conformance).
+func TestKiBaMImplementsModel(t *testing.T) {
+	var _ Model = KiBaM{}
+	var _ Model = kb()
+}

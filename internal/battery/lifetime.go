@@ -1,0 +1,145 @@
+package battery
+
+import (
+	"fmt"
+	"math"
+)
+
+// LifetimeOptions tunes the lifetime solver. The zero value selects sane
+// defaults.
+type LifetimeOptions struct {
+	// SamplesPerInterval is how many points each profile interval is
+	// probed at when bracketing the first crossing (default 64). The
+	// apparent charge is not monotonic under recovery-capable models,
+	// so sampling is what makes the "first" in first-crossing reliable.
+	SamplesPerInterval int
+	// Tolerance is the absolute time tolerance of the bisection
+	// refinement (default 1e-9 minutes).
+	Tolerance float64
+	// Horizon bounds the search beyond the profile end (default: the
+	// profile end itself — a battery that survives the profile is
+	// reported as surviving, since sigma only decays afterwards).
+	Horizon float64
+}
+
+func (o LifetimeOptions) withDefaults(p Profile) LifetimeOptions {
+	if o.SamplesPerInterval <= 0 {
+		o.SamplesPerInterval = 64
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-9
+	}
+	if o.Horizon <= 0 {
+		o.Horizon = p.TotalTime()
+	}
+	return o
+}
+
+// Lifetime returns the earliest time at which sigma(t) reaches capacity
+// alpha under the given model — the battery lifetime estimate the paper
+// describes ("evaluating Equation 1 for increasing values of T and stopping
+// where sigma ≈ alpha"). The boolean reports whether the battery dies
+// within the horizon; if false, the returned time is the horizon and the
+// battery survives the profile.
+//
+// The solver samples each interval (recovery makes sigma non-monotonic, so
+// a plain bisection over the whole profile could skip an early crossing),
+// brackets the first sign change of sigma−alpha, and refines it by
+// bisection.
+func Lifetime(m Model, p Profile, alpha float64, opts LifetimeOptions) (float64, bool) {
+	if alpha <= 0 {
+		return 0, true
+	}
+	if err := p.Validate(); err != nil || len(p) == 0 {
+		return 0, false
+	}
+	o := opts.withDefaults(p)
+	f := func(t float64) float64 { return m.ChargeLost(p, t) - alpha }
+
+	var start float64
+	prevT, prevF := 0.0, f(0)
+	if prevF >= 0 {
+		return 0, true
+	}
+	for _, iv := range p {
+		end := start + iv.Duration
+		if end > o.Horizon {
+			end = o.Horizon
+		}
+		if end > start {
+			step := (end - start) / float64(o.SamplesPerInterval)
+			for s := 1; s <= o.SamplesPerInterval; s++ {
+				t := start + float64(s)*step
+				ft := f(t)
+				if ft >= 0 {
+					return bisect(f, prevT, t, o.Tolerance), true
+				}
+				prevT, prevF = t, ft
+			}
+		}
+		start += iv.Duration
+		if start >= o.Horizon {
+			break
+		}
+	}
+	_ = prevF
+	return o.Horizon, false
+}
+
+// bisect refines a bracketed root of f (f(lo) < 0 <= f(hi)) to within tol.
+func bisect(f func(float64) float64, lo, hi, tol float64) float64 {
+	for hi-lo > tol {
+		mid := lo + (hi-lo)/2
+		if mid == lo || mid == hi {
+			break // float resolution reached
+		}
+		if f(mid) >= 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// ConstantLoadLifetime returns the lifetime under a constant current draw
+// by synthesizing a long constant profile and solving for the crossing.
+// The horizon is alpha/current scaled by headroom (the ideal lifetime is
+// alpha/current and real models die sooner, so headroom 1 suffices; a
+// little margin keeps the bracket robust).
+func ConstantLoadLifetime(m Model, current, alpha float64) (float64, error) {
+	if current <= 0 {
+		return 0, fmt.Errorf("battery: constant load current must be positive, got %g", current)
+	}
+	if alpha <= 0 {
+		return 0, fmt.Errorf("battery: capacity must be positive, got %g", alpha)
+	}
+	horizon := alpha / current * 1.01
+	p := Profile{{Current: current, Duration: horizon}}
+	t, died := Lifetime(m, p, alpha, LifetimeOptions{Horizon: horizon})
+	if !died {
+		// Physical models lose at least the delivered charge, so the
+		// crossing is within the horizon; not dying means a pathological
+		// model (for example sigma < delivered). Report the horizon.
+		return horizon, fmt.Errorf("battery: no crossing within horizon %g", horizon)
+	}
+	return t, nil
+}
+
+// RecoverableIn reports how much apparent charge the battery regains if it
+// rests for `rest` minutes after the profile ends: sigma(end) − sigma(end+rest).
+// It is zero for models without a recovery effect.
+func RecoverableIn(m Model, p Profile, rest float64) float64 {
+	end := p.TotalTime()
+	return m.ChargeLost(p, end) - m.ChargeLost(p, end+rest)
+}
+
+// DeathCheck reports whether a battery of capacity alpha survives the whole
+// profile, and if not, when it dies.
+func DeathCheck(m Model, p Profile, alpha float64) (diesAt float64, dies bool) {
+	t, died := Lifetime(m, p, alpha, LifetimeOptions{})
+	if !died {
+		return math.Inf(1), false
+	}
+	return t, true
+}

@@ -1,0 +1,206 @@
+package battery
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIdealModel(t *testing.T) {
+	p := Profile{{Current: 10, Duration: 2}, {Current: 5, Duration: 4}}
+	m := Ideal{}
+	if got := m.ChargeLost(p, 6); got != 40 {
+		t.Fatalf("ideal sigma = %g", got)
+	}
+	if got := m.ChargeLost(p, 3); got != 25 {
+		t.Fatalf("ideal sigma(3) = %g", got)
+	}
+}
+
+func TestPeukertReducesToIdealAtExponentOne(t *testing.T) {
+	p := Profile{{Current: 120, Duration: 3}, {Current: 30, Duration: 7}}
+	pk := NewPeukert(1, 100)
+	id := Ideal{}
+	for _, at := range []float64{1, 5, 10} {
+		if a, b := pk.ChargeLost(p, at), id.ChargeLost(p, at); !almost(a, b, 1e-9) {
+			t.Fatalf("k=1 Peukert %g != ideal %g at %g", a, b, at)
+		}
+	}
+}
+
+func TestPeukertPenalizesHighCurrents(t *testing.T) {
+	pk := NewPeukert(1.2, 100)
+	slow := Profile{{Current: 100, Duration: 40}}
+	fast := Profile{{Current: 400, Duration: 10}}
+	if pk.ChargeLost(fast, 10) <= pk.ChargeLost(slow, 40) {
+		t.Fatal("Peukert should penalize the higher rate")
+	}
+	// Below the reference current the effective drain is smaller than
+	// delivered.
+	gentle := Profile{{Current: 25, Duration: 8}}
+	if pk.ChargeLost(gentle, 8) >= gentle.DeliveredCharge(8) {
+		t.Fatal("below-reference current should be cheaper than ideal under Peukert")
+	}
+}
+
+func TestPeukertPanicsOnBadParams(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewPeukert(0.9, 100) },
+		func() { NewPeukert(1.2, 0) },
+		func() { NewPeukert(1.2, -5) },
+		func() { NewPeukert(math.NaN(), 100) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLifetimeIdealConstantLoad(t *testing.T) {
+	// Ideal battery, constant 100 mA, capacity 5000 mA·min → 50 min.
+	p := Profile{{Current: 100, Duration: 100}}
+	got, died := Lifetime(Ideal{}, p, 5000, LifetimeOptions{})
+	if !died || !almost(got, 50, 1e-6) {
+		t.Fatalf("lifetime = %g, died=%v; want 50", got, died)
+	}
+}
+
+func TestLifetimeRakhmatovShorterThanIdeal(t *testing.T) {
+	m := NewRakhmatov(0.273)
+	p := Profile{{Current: 100, Duration: 100}}
+	alpha := 5000.0
+	rv, died := Lifetime(m, p, alpha, LifetimeOptions{})
+	if !died {
+		t.Fatal("RV battery should die within the profile")
+	}
+	ideal, _ := Lifetime(Ideal{}, p, alpha, LifetimeOptions{})
+	if rv >= ideal {
+		t.Fatalf("RV lifetime %g should be below ideal %g", rv, ideal)
+	}
+	// Consistency: sigma at the reported death time equals alpha.
+	if got := m.ChargeLost(p, rv); !almost(got, alpha, 1e-3) {
+		t.Fatalf("sigma at death = %g, want %g", got, alpha)
+	}
+}
+
+func TestLifetimeSurvivesSmallLoad(t *testing.T) {
+	m := NewRakhmatov(0.273)
+	p := Profile{{Current: 1, Duration: 10}}
+	got, died := Lifetime(m, p, 1e9, LifetimeOptions{})
+	if died {
+		t.Fatalf("battery should survive, died at %g", got)
+	}
+	if got != p.TotalTime() {
+		t.Fatalf("survivor should report horizon %g, got %g", p.TotalTime(), got)
+	}
+}
+
+// TestLifetimeFirstCrossing builds a profile whose sigma crosses alpha
+// during a burst, recovers below it during rest, then crosses again; the
+// solver must report the FIRST crossing.
+func TestLifetimeFirstCrossing(t *testing.T) {
+	m := NewRakhmatov(0.15) // sluggish battery, big unavailable charge
+	burst := Interval{Current: 1000, Duration: 10}
+	rest := Interval{Current: 0, Duration: 200}
+	p := Profile{burst, rest, burst}
+	endOfBurst := burst.Duration
+	sigmaPeak := m.ChargeLost(p, endOfBurst)
+	sigmaRested := m.ChargeLost(p, endOfBurst+rest.Duration)
+	if sigmaRested >= sigmaPeak {
+		t.Fatalf("setup: no recovery (%g -> %g)", sigmaPeak, sigmaRested)
+	}
+	alpha := (sigmaPeak + sigmaRested) / 2 // crossed in burst 1, recovered below in rest
+	tDeath, died := Lifetime(m, p, alpha, LifetimeOptions{})
+	if !died {
+		t.Fatal("battery must die")
+	}
+	if tDeath > endOfBurst {
+		t.Fatalf("death at %g, want within the first burst (<= %g)", tDeath, endOfBurst)
+	}
+	if got := m.ChargeLost(p, tDeath); !almost(got, alpha, 1e-3) {
+		t.Fatalf("sigma at death %g != alpha %g", got, alpha)
+	}
+}
+
+func TestLifetimeEdgeCases(t *testing.T) {
+	m := Ideal{}
+	if got, died := Lifetime(m, Profile{{Current: 1, Duration: 1}}, 0, LifetimeOptions{}); !died || got != 0 {
+		t.Fatalf("alpha=0 should die immediately, got %g,%v", got, died)
+	}
+	if _, died := Lifetime(m, Profile{}, 100, LifetimeOptions{}); died {
+		t.Fatal("empty profile cannot kill a battery")
+	}
+	if _, died := Lifetime(m, Profile{{Current: -1, Duration: 1}}, 100, LifetimeOptions{}); died {
+		t.Fatal("invalid profile should report not-died")
+	}
+}
+
+func TestConstantLoadLifetime(t *testing.T) {
+	got, err := ConstantLoadLifetime(Ideal{}, 200, 1000)
+	if err != nil || !almost(got, 5, 1e-6) {
+		t.Fatalf("ideal constant-load lifetime = %g, %v; want 5", got, err)
+	}
+	m := NewRakhmatov(0.273)
+	rv, err := ConstantLoadLifetime(m, 200, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv >= got {
+		t.Fatalf("RV lifetime %g should be below ideal %g", rv, got)
+	}
+	if _, err := ConstantLoadLifetime(m, 0, 100); err == nil {
+		t.Fatal("zero current should error")
+	}
+	if _, err := ConstantLoadLifetime(m, 100, 0); err == nil {
+		t.Fatal("zero capacity should error")
+	}
+}
+
+// TestRateCapacityLifetimeCurve: the classic battery curve — doubling the
+// load more than halves the lifetime under the RV model.
+func TestRateCapacityLifetimeCurve(t *testing.T) {
+	m := NewRakhmatov(0.273)
+	alpha := 20000.0
+	l1, err := ConstantLoadLifetime(m, 100, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := ConstantLoadLifetime(m, 200, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2 >= l1/2 {
+		t.Fatalf("rate-capacity effect missing: L(100)=%g, L(200)=%g", l1, l2)
+	}
+}
+
+func TestRecoverableIn(t *testing.T) {
+	m := NewRakhmatov(0.273)
+	p := Profile{{Current: 400, Duration: 10}}
+	r := RecoverableIn(m, p, 30)
+	if r <= 0 {
+		t.Fatalf("RV battery should recover charge during rest, got %g", r)
+	}
+	if got := RecoverableIn(Ideal{}, p, 30); got != 0 {
+		t.Fatalf("ideal battery recovered %g, want 0", got)
+	}
+	// Longer rest recovers (weakly) more.
+	if RecoverableIn(m, p, 60) < r {
+		t.Fatal("longer rest should not recover less")
+	}
+}
+
+func TestDeathCheck(t *testing.T) {
+	m := Ideal{}
+	p := Profile{{Current: 100, Duration: 10}}
+	if at, dies := DeathCheck(m, p, 500); !dies || !almost(at, 5, 1e-6) {
+		t.Fatalf("DeathCheck = %g,%v", at, dies)
+	}
+	if at, dies := DeathCheck(m, p, 5000); dies || !math.IsInf(at, 1) {
+		t.Fatalf("DeathCheck survivor = %g,%v", at, dies)
+	}
+}

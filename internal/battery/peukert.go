@@ -1,0 +1,69 @@
+package battery
+
+import (
+	"fmt"
+	"math"
+)
+
+// Peukert is the empirical Peukert's-law battery model used by earlier
+// battery-aware scheduling work (for example Luo & Jha [5], via Pedram &
+// Wu [6]). Under a constant discharge current I, a battery rated for
+// capacity C at reference current Iref lasts
+//
+//	L = C / (Iref * (I/Iref)^k)
+//
+// with Peukert exponent k slightly above 1. For a piecewise-constant
+// profile we charge each interval its Peukert-effective drain:
+//
+//	sigma(T) = sum_k Iref * (I_k/Iref)^k * d_k
+//
+// This captures the rate-capacity effect (k > 1 penalizes high currents
+// superlinearly) but, unlike the Rakhmatov model, has no recovery effect:
+// rest periods merely add nothing. Exponent 1 reduces to the ideal model.
+type Peukert struct {
+	// Exponent is Peukert's k (typical lead-acid 1.1–1.3; Li-ion closer
+	// to 1.05). Must be >= 1.
+	Exponent float64
+	// RefCurrent is the rated discharge current Iref in mA at which the
+	// battery's capacity is specified. Must be positive.
+	RefCurrent float64
+}
+
+// NewPeukert returns a Peukert model, panicking on non-physical parameters
+// (exponent below 1 or non-positive reference current).
+func NewPeukert(exponent, refCurrent float64) Peukert {
+	if exponent < 1 || math.IsNaN(exponent) {
+		panic(fmt.Sprintf("battery: Peukert exponent must be >= 1, got %g", exponent))
+	}
+	if refCurrent <= 0 || math.IsNaN(refCurrent) {
+		panic(fmt.Sprintf("battery: Peukert reference current must be positive, got %g", refCurrent))
+	}
+	return Peukert{Exponent: exponent, RefCurrent: refCurrent}
+}
+
+// Name implements Model.
+func (pk Peukert) Name() string {
+	return fmt.Sprintf("peukert(k=%g,Iref=%g)", pk.Exponent, pk.RefCurrent)
+}
+
+// ChargeLost implements Model.
+func (pk Peukert) ChargeLost(p Profile, at float64) float64 {
+	if at <= 0 {
+		return 0
+	}
+	var sigma, start float64
+	for _, iv := range p {
+		if start >= at {
+			break
+		}
+		d := iv.Duration
+		if start+d > at {
+			d = at - start
+		}
+		if iv.Current > 0 {
+			sigma += pk.RefCurrent * math.Pow(iv.Current/pk.RefCurrent, pk.Exponent) * d
+		}
+		start += iv.Duration
+	}
+	return sigma
+}

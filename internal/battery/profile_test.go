@@ -1,0 +1,161 @@
+package battery
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestProfileValidate(t *testing.T) {
+	good := Profile{{Current: 5, Duration: 1}, {Current: 0, Duration: 2}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	bad := []Profile{
+		{{Current: 5, Duration: 0}},
+		{{Current: 5, Duration: -1}},
+		{{Current: -5, Duration: 1}},
+		{{Current: math.NaN(), Duration: 1}},
+		{{Current: 5, Duration: math.Inf(1)}},
+	}
+	for k, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad profile %d accepted", k)
+		}
+	}
+	if err := (Profile{}).Validate(); err != nil {
+		t.Errorf("empty profile should validate: %v", err)
+	}
+}
+
+func TestProfileTotalsAndDelivered(t *testing.T) {
+	p := Profile{{Current: 10, Duration: 2}, {Current: 5, Duration: 4}}
+	if p.TotalTime() != 6 {
+		t.Fatalf("TotalTime = %g", p.TotalTime())
+	}
+	if got := p.DeliveredCharge(6); got != 40 {
+		t.Fatalf("DeliveredCharge(6) = %g", got)
+	}
+	if got := p.DeliveredCharge(3); got != 25 { // 10·2 + 5·1
+		t.Fatalf("DeliveredCharge(3) = %g", got)
+	}
+	if got := p.DeliveredCharge(100); got != 40 {
+		t.Fatalf("DeliveredCharge(100) = %g", got)
+	}
+	if got := p.DeliveredCharge(0); got != 0 {
+		t.Fatalf("DeliveredCharge(0) = %g", got)
+	}
+}
+
+func TestProfileCurrentAt(t *testing.T) {
+	p := Profile{{Current: 10, Duration: 2}, {Current: 5, Duration: 4}}
+	cases := []struct{ at, want float64 }{
+		{-1, 0}, {0, 10}, {1.9, 10}, {2, 5}, {5.9, 5}, {6, 0}, {100, 0},
+	}
+	for _, c := range cases {
+		if got := p.CurrentAt(c.at); got != c.want {
+			t.Errorf("CurrentAt(%g) = %g, want %g", c.at, got, c.want)
+		}
+	}
+}
+
+func TestProfileStarts(t *testing.T) {
+	p := Profile{{Current: 1, Duration: 2}, {Current: 2, Duration: 3}, {Current: 3, Duration: 4}}
+	starts := p.Starts()
+	want := []float64{0, 2, 5}
+	for k := range want {
+		if starts[k] != want[k] {
+			t.Fatalf("Starts = %v", starts)
+		}
+	}
+}
+
+func TestProfileCompact(t *testing.T) {
+	p := Profile{{Current: 5, Duration: 1}, {Current: 5, Duration: 2}, {Current: 3, Duration: 1}}
+	c := p.Compact()
+	if len(c) != 2 || c[0].Duration != 3 || c[1].Current != 3 {
+		t.Fatalf("Compact = %v", c)
+	}
+	if len(p) != 3 {
+		t.Fatal("Compact mutated the receiver")
+	}
+}
+
+func TestProfileScaledReversedSorted(t *testing.T) {
+	p := Profile{{Current: 1, Duration: 1}, {Current: 3, Duration: 2}, {Current: 2, Duration: 3}}
+	s := p.Scaled(2)
+	if s[1].Current != 6 || s[1].Duration != 2 {
+		t.Fatalf("Scaled = %v", s)
+	}
+	r := p.Reversed()
+	if r[0].Current != 2 || r[2].Current != 1 {
+		t.Fatalf("Reversed = %v", r)
+	}
+	d := p.SortedDescending()
+	if d[0].Current != 3 || d[1].Current != 2 || d[2].Current != 1 {
+		t.Fatalf("SortedDescending = %v", d)
+	}
+	// Original untouched.
+	if p[0].Current != 1 || p[1].Current != 3 {
+		t.Fatal("receiver mutated")
+	}
+}
+
+func TestProfileCIF(t *testing.T) {
+	flat := Profile{{Current: 5, Duration: 1}, {Current: 5, Duration: 1}}
+	if flat.CIF() != 0 {
+		t.Fatalf("flat CIF = %g", flat.CIF())
+	}
+	dec := Profile{{Current: 9, Duration: 1}, {Current: 5, Duration: 1}, {Current: 1, Duration: 1}}
+	if dec.CIF() != 0 {
+		t.Fatalf("decreasing CIF = %g", dec.CIF())
+	}
+	inc := dec.Reversed()
+	if inc.CIF() != 1 {
+		t.Fatalf("increasing CIF = %g", inc.CIF())
+	}
+	mixed := Profile{{Current: 5, Duration: 1}, {Current: 9, Duration: 1}, {Current: 1, Duration: 1}}
+	if mixed.CIF() != 0.5 {
+		t.Fatalf("mixed CIF = %g", mixed.CIF())
+	}
+	if (Profile{}).CIF() != 0 || (Profile{{Current: 1, Duration: 1}}).CIF() != 0 {
+		t.Fatal("degenerate CIF should be 0")
+	}
+}
+
+func TestProfilePeakMean(t *testing.T) {
+	p := Profile{{Current: 10, Duration: 1}, {Current: 2, Duration: 3}}
+	if p.PeakCurrent() != 10 {
+		t.Fatalf("Peak = %g", p.PeakCurrent())
+	}
+	if !almost(p.MeanCurrent(), 16.0/4, 1e-12) {
+		t.Fatalf("Mean = %g", p.MeanCurrent())
+	}
+	if (Profile{}).MeanCurrent() != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	p := Profile{{Current: 10, Duration: 1.5}, {Current: 0, Duration: 2}}
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadProfileJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0] != p[0] || back[1] != p[1] {
+		t.Fatalf("round trip = %v", back)
+	}
+	if _, err := ReadProfileJSON(strings.NewReader("[{\"current\":-1,\"duration\":1}]")); err == nil {
+		t.Fatal("invalid profile should be rejected")
+	}
+	if _, err := ReadProfileJSON(strings.NewReader("garbage")); err == nil {
+		t.Fatal("garbage should be rejected")
+	}
+}

@@ -1,0 +1,127 @@
+package battery
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultBeta is the diffusion parameter (min^-1/2) the paper uses for its
+// illustrative example (Section 4.2).
+const DefaultBeta = 0.273
+
+// DefaultTerms is the number of series terms the paper's Equation 1 keeps
+// (the sum over m = 1..10).
+const DefaultTerms = 10
+
+// Rakhmatov is the Rakhmatov–Vrudhula analytical battery model (ICCAD 2001),
+// the paper's Equation 1. It derives, from one-dimensional diffusion of the
+// electrolyte's active species, the apparent charge lost by time T under a
+// piecewise-constant discharge profile:
+//
+//	sigma(T) = sum_k I_k [ d_k + 2 * sum_{m=1..Terms}
+//	            (exp(-b²m²(T - t_k - d_k)) - exp(-b²m²(T - t_k))) / (b²m²) ]
+//
+// where t_k and d_k are the start and duration of interval k (d_k clamped
+// at T for in-progress intervals) and b is Beta. The bracketed tail is the
+// charge made temporarily unavailable by the concentration gradient; it
+// decays during rest, which reproduces both the rate-capacity and the
+// recovery effects. The battery is empty when sigma reaches its capacity
+// alpha.
+//
+// The zero value is not useful; construct with NewRakhmatov or set Beta and
+// Terms explicitly.
+type Rakhmatov struct {
+	// Beta is the diffusion parameter in min^-1/2. Larger values mean a
+	// "stiffer" battery that recovers faster and wastes less charge; as
+	// Beta grows the model converges to the ideal coulomb counter.
+	Beta float64
+	// Terms is the number of series terms kept (the paper uses 10).
+	Terms int
+}
+
+// NewRakhmatov returns the model with the given beta and the paper's
+// ten-term series. It panics if beta is not positive, because a zero beta
+// silently degenerates to a division by zero deep in the series.
+func NewRakhmatov(beta float64) Rakhmatov {
+	if beta <= 0 || math.IsNaN(beta) {
+		panic(fmt.Sprintf("battery: beta must be positive, got %g", beta))
+	}
+	return Rakhmatov{Beta: beta, Terms: DefaultTerms}
+}
+
+// Name implements Model.
+func (r Rakhmatov) Name() string { return fmt.Sprintf("rakhmatov(beta=%g)", r.Beta) }
+
+// ChargeLost implements Model. It returns sigma(at) for the profile; times
+// beyond the profile end are rest, so sigma relaxes back toward the
+// delivered charge. It returns 0 for at <= 0.
+func (r Rakhmatov) ChargeLost(p Profile, at float64) float64 {
+	if at <= 0 {
+		return 0
+	}
+	b2 := r.Beta * r.Beta
+	var sigma float64
+	var start float64
+	for _, iv := range p {
+		if start >= at {
+			break
+		}
+		d := iv.Duration
+		if start+d > at {
+			d = at - start
+		}
+		if iv.Current != 0 {
+			sigma += iv.Current * (d + 2*r.seriesTail(b2, at-start-d, at-start))
+		}
+		start += iv.Duration
+	}
+	return sigma
+}
+
+// seriesTail computes sum_{m=1..Terms} (exp(-b²m²·after) - exp(-b²m²·since)) / (b²m²)
+// where after = T - t_k - d_k (time since the interval ended) and
+// since = T - t_k (time since it began). Both are non-negative with
+// after <= since, so every term is non-negative and bounded by d_k.
+func (r Rakhmatov) seriesTail(b2, after, since float64) float64 {
+	terms := r.Terms
+	if terms <= 0 {
+		terms = DefaultTerms
+	}
+	var s float64
+	for m := 1; m <= terms; m++ {
+		m2 := float64(m) * float64(m)
+		k := b2 * m2
+		s += (math.Exp(-k*after) - math.Exp(-k*since)) / k
+	}
+	return s
+}
+
+// Unavailable returns the charge bound in the battery interior at time at:
+// sigma(at) minus the delivered charge. It is non-negative, grows during
+// discharge and decays during rest (the recovery effect).
+func (r Rakhmatov) Unavailable(p Profile, at float64) float64 {
+	return r.ChargeLost(p, at) - p.DeliveredCharge(at)
+}
+
+// ConstantLoadSigma returns sigma(T) in closed form for a constant current
+// I applied over [0, T]:
+//
+//	sigma(T) = I [ T + 2 * sum_m (1 - exp(-b²m²T)) / (b²m²) ]
+//
+// Used by tests as an independent check of ChargeLost.
+func (r Rakhmatov) ConstantLoadSigma(current, T float64) float64 {
+	if T <= 0 {
+		return 0
+	}
+	b2 := r.Beta * r.Beta
+	terms := r.Terms
+	if terms <= 0 {
+		terms = DefaultTerms
+	}
+	var s float64
+	for m := 1; m <= terms; m++ {
+		k := b2 * float64(m) * float64(m)
+		s += (1 - math.Exp(-k*T)) / k
+	}
+	return current * (T + 2*s)
+}

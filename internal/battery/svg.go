@@ -1,0 +1,127 @@
+package battery
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// SVGOptions controls WriteSVG. The zero value gives an 800×300 chart
+// with the sigma overlay under the paper's default model.
+type SVGOptions struct {
+	// Width and Height are the image dimensions in pixels (defaults
+	// 800×300).
+	Width, Height int
+	// Model, if non-nil, overlays sigma(t) (scaled to its final value)
+	// on the current steps; nil overlays the paper's Rakhmatov model.
+	// Use Ideal{} for a plain delivered-charge overlay.
+	Model Model
+	// Samples is the sigma-curve sampling density (default 256).
+	Samples int
+	// Title is drawn at the top-left when non-empty.
+	Title string
+}
+
+func (o SVGOptions) withDefaults() SVGOptions {
+	if o.Width <= 0 {
+		o.Width = 800
+	}
+	if o.Height <= 0 {
+		o.Height = 300
+	}
+	if o.Model == nil {
+		o.Model = NewRakhmatov(DefaultBeta)
+	}
+	if o.Samples <= 0 {
+		o.Samples = 256
+	}
+	return o
+}
+
+// WriteSVG renders the discharge profile as a standalone SVG: the
+// current-vs-time staircase (left axis) with the model's apparent charge
+// sigma(t) overlaid (right axis, scaled to its maximum). The output is
+// plain SVG 1.1 with no external references, suitable for embedding in
+// reports.
+func (p Profile) WriteSVG(w io.Writer, opts SVGOptions) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if len(p) == 0 {
+		return fmt.Errorf("battery: empty profile")
+	}
+	o := opts.withDefaults()
+	total := p.TotalTime()
+	peak := p.PeakCurrent()
+	if peak <= 0 {
+		peak = 1
+	}
+
+	const margin = 40.0
+	plotW := float64(o.Width) - 2*margin
+	plotH := float64(o.Height) - 2*margin
+	x := func(t float64) float64 { return margin + t/total*plotW }
+	yCur := func(i float64) float64 { return margin + (1-i/peak)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		o.Width, o.Height, o.Width, o.Height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", o.Width, o.Height)
+	if o.Title != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="13">%s</text>`+"\n",
+			margin, margin-16, svgEscape(o.Title))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		margin, margin+plotH, margin+plotW, margin+plotH)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		margin, margin, margin, margin+plotH)
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">%.0f mA</text>`+"\n",
+		4.0, margin+8, peak)
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">%.1f min</text>`+"\n",
+		margin+plotW-40, margin+plotH+16, total)
+
+	// Current staircase.
+	var pts []string
+	t := 0.0
+	pts = append(pts, fmt.Sprintf("%.2f,%.2f", x(0), yCur(p[0].Current)))
+	for _, iv := range p {
+		pts = append(pts, fmt.Sprintf("%.2f,%.2f", x(t), yCur(iv.Current)))
+		t += iv.Duration
+		pts = append(pts, fmt.Sprintf("%.2f,%.2f", x(t), yCur(iv.Current)))
+	}
+	fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="#1f77b4" stroke-width="1.5"/>`+"\n",
+		strings.Join(pts, " "))
+
+	// Sigma overlay, scaled to its final value.
+	sigmaEnd := o.Model.ChargeLost(p, total)
+	if sigmaEnd > 0 {
+		maxSigma := sigmaEnd
+		curve := make([]string, 0, o.Samples+1)
+		vals := make([]float64, o.Samples+1)
+		for k := 0; k <= o.Samples; k++ {
+			tt := total * float64(k) / float64(o.Samples)
+			vals[k] = o.Model.ChargeLost(p, tt)
+			if vals[k] > maxSigma {
+				maxSigma = vals[k]
+			}
+		}
+		for k := 0; k <= o.Samples; k++ {
+			tt := total * float64(k) / float64(o.Samples)
+			y := margin + (1-vals[k]/maxSigma)*plotH
+			curve = append(curve, fmt.Sprintf("%.2f,%.2f", x(tt), y))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="#d62728" stroke-width="1.5" stroke-dasharray="4 3"/>`+"\n",
+			strings.Join(curve, " "))
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" fill="#d62728">sigma max %.0f mA·min (%s)</text>`+"\n",
+			margin+4, margin+12, maxSigma, svgEscape(o.Model.Name()))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

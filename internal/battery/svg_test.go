@@ -1,0 +1,58 @@
+package battery
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func TestWriteSVG(t *testing.T) {
+	p := Profile{{Current: 400, Duration: 10}, {Current: 0, Duration: 5}, {Current: 100, Duration: 10}}
+	var buf bytes.Buffer
+	if err := p.WriteSVG(&buf, SVGOptions{Title: "demo & test"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, out)
+		}
+	}
+	for _, want := range []string{"<svg", "polyline", "400 mA", "25.0 min", "sigma max", "demo &amp; test"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// Two polylines: staircase + sigma overlay.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Fatalf("polyline count = %d, want 2", got)
+	}
+}
+
+func TestWriteSVGIdealOverlay(t *testing.T) {
+	p := Profile{{Current: 100, Duration: 10}}
+	var buf bytes.Buffer
+	if err := p.WriteSVG(&buf, SVGOptions{Model: Ideal{}, Width: 400, Height: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ideal") {
+		t.Fatal("overlay label missing")
+	}
+}
+
+func TestWriteSVGRejectsBadProfiles(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Profile{}).WriteSVG(&buf, SVGOptions{}); err == nil {
+		t.Fatal("empty profile should error")
+	}
+	if err := (Profile{{Current: -1, Duration: 1}}).WriteSVG(&buf, SVGOptions{}); err == nil {
+		t.Fatal("invalid profile should error")
+	}
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"math"
+)
+
+// evaluateWindows is the paper's EvaluateWindows: find the narrowest
+// feasible window start, then run the backward design-point selection for
+// every window from there down to the full design space, keeping the
+// minimum-sigma assignment. It returns (nil, +Inf, traces) when no window
+// yields a feasible assignment.
+//
+// CT(k) — the completion time if every task used column k — decreases as k
+// decreases (columns are time-sorted), so the start search widens the
+// window until CT fits the deadline.
+func (s *Scheduler) evaluateWindows(L []int) (bestAssign []int, bestCost float64, windows []WindowTrace) {
+	start := s.m - 2
+	if start < 0 {
+		start = 0
+	}
+	for s.columnTime(start) > s.deadline+timeEps {
+		if start == 0 {
+			// Unreachable when Run's feasibility pre-check passed,
+			// but kept for direct callers.
+			return nil, math.Inf(1), nil
+		}
+		start--
+	}
+	lo := 0
+	switch s.opt.Windows {
+	case WindowFirstFeasible:
+		lo = start
+	case WindowFullOnly:
+		start = 0
+	}
+	bestCost = math.Inf(1)
+	for ws := start; ws >= lo; ws-- {
+		assign, ok := s.chooseDesignPoints(L, ws)
+		wt := WindowTrace{WindowStart: ws + 1, Feasible: ok, Cost: math.Inf(1)}
+		if ok {
+			wt.Cost = s.costOf(L, assign)
+			wt.Duration = s.totalTime(assign)
+			if s.opt.RecordTrace {
+				wt.Assignment = s.assignmentMap(assign)
+			}
+			if wt.Cost < bestCost {
+				bestCost = wt.Cost
+				bestAssign = assign
+			}
+		}
+		windows = append(windows, wt)
+	}
+	return bestAssign, bestCost, windows
+}
+
+// columnTime returns CT(j) for 0-based column j.
+func (s *Scheduler) columnTime(j int) float64 {
+	var t float64
+	for i := 0; i < s.n; i++ {
+		t += s.d[i][j]
+	}
+	return t
+}
+
+// totalTime returns the completion time of an assignment.
+func (s *Scheduler) totalTime(assign []int) float64 {
+	var t float64
+	for i := 0; i < s.n; i++ {
+		t += s.d[i][assign[i]]
+	}
+	return t
+}
+
+// chooseDesignPoints is the paper's ChooseDesignPoints: fix the last task
+// in the sequence to its lowest-power point, then walk backwards through
+// the sequence; for every task, tag each design point within the window
+// [ws..m-1], score it with the suitability B = SR+CR+ENR+CIF+DPF, and fix
+// the task at the minimum-B point. Free (not yet processed) tasks are held
+// at their lowest-power points; the DPF computation escalates them
+// hypothetically to test deadline feasibility.
+//
+// It returns the per-task-index assignment and whether a deadline-feasible
+// assignment was found (a finite B for the first sequence position implies
+// feasibility, because no free tasks remain there).
+func (s *Scheduler) chooseDesignPoints(L []int, ws int) ([]int, bool) {
+	n, m := s.n, s.m
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = m - 1
+	}
+	// posOf lets the DPF escalation find a task's sequence position.
+	posOf := make([]int, n)
+	for p, ti := range L {
+		posOf[ti] = p
+	}
+
+	// The last task is fixed to the lowest-power design point (the
+	// paper's S(n,m) = 1); Tsum tracks the total time of fixed tasks.
+	tsum := s.d[L[n-1]][m-1]
+	if n == 1 {
+		return assign, tsum <= s.deadline+timeEps
+	}
+
+	scratch := newDPFScratch(n)
+	for pos := n - 2; pos >= 0; pos-- {
+		ti := L[pos]
+		bestB := math.Inf(1)
+		bestJ := -1
+		for j := m - 1; j >= ws; j-- {
+			b := s.suitability(L, posOf, assign, tsum, pos, ti, j, ws, scratch)
+			if b < bestB {
+				bestB = b
+				bestJ = j
+			}
+		}
+		if bestJ < 0 || math.IsInf(bestB, 1) {
+			return nil, false
+		}
+		assign[ti] = bestJ
+		tsum += s.d[ti][bestJ]
+	}
+	return assign, s.totalTime(assign) <= s.deadline+timeEps
+}
+
+// suitability computes B = SR + CR + ENR + CIF + DPF for tagging task ti
+// (at sequence position pos) with design point j, given the fixed-task
+// assignment so far (assign; free tasks at lowest power) and the fixed
+// time sum tsum. A +Inf result marks a deadline-violating choice.
+func (s *Scheduler) suitability(L, posOf, assign []int, tsum float64, pos, ti, j, ws int, scratch *dpfScratch) float64 {
+	d := s.deadline
+	sr := (d - (tsum + s.d[ti][j])) / d
+	cr := 0.0
+	if s.iMax > s.iMin {
+		cr = (s.cur[ti][j] - s.iMin) / (s.iMax - s.iMin)
+	}
+	enr, cif, dpf := s.calculateDPF(L, posOf, assign, pos, ti, j, ws, scratch)
+	if math.IsInf(dpf, 1) {
+		return math.Inf(1)
+	}
+	var b float64
+	f := s.opt.Factors
+	if f.Has(FactorSR) {
+		b += sr
+	}
+	if f.Has(FactorCR) {
+		b += cr
+	}
+	if f.Has(FactorENR) {
+		b += enr
+	}
+	if f.Has(FactorCIF) {
+		b += cif
+	}
+	if f.Has(FactorDPF) {
+		b += dpf
+	}
+	return b
+}
+
+// dpfScratch holds the reusable buffers of calculateDPF so the inner loop
+// of chooseDesignPoints does not allocate per tagged point.
+type dpfScratch struct {
+	tmp    []int
+	frozen []bool
+}
+
+func newDPFScratch(n int) *dpfScratch {
+	return &dpfScratch{tmp: make([]int, n), frozen: make([]bool, n)}
+}
+
+// calculateDPF is the paper's CalculateDPF plus CalculateFactors: starting
+// from the tagged state (fixed tasks at their chosen points, task ti tagged
+// at j, free tasks at lowest power), escalate free tasks one design-point
+// step at a time — always the free task with the smallest average energy —
+// until the deadline is met or no free task can move. Tasks reaching the
+// window's highest-power column are frozen. The returned DPF is the
+// design-point fraction of the escalated state (+Inf when the deadline
+// cannot be met); ENR and CIF are computed on the same escalated state.
+func (s *Scheduler) calculateDPF(L, posOf, assign []int, pos, ti, j, ws int, scratch *dpfScratch) (enr, cif, dpf float64) {
+	n, m := s.n, s.m
+	tmp := scratch.tmp[:n]
+	copy(tmp, assign)
+	tmp[ti] = j
+	frozen := scratch.frozen[:n]
+	for i := range frozen {
+		frozen[i] = false
+	}
+
+	te := s.totalTime(tmp)
+	d := s.deadline
+	for te > d+timeEps {
+		// First free task in the Energy Vector: smallest average
+		// energy among unprocessed (position < pos), unfrozen tasks.
+		q := -1
+		for _, cand := range s.energyOrder {
+			if posOf[cand] < pos && !frozen[cand] {
+				q = cand
+				break
+			}
+		}
+		if q < 0 {
+			enr, cif = s.factorsOf(L, tmp)
+			return enr, cif, math.Inf(1)
+		}
+		p := tmp[q]
+		if p <= ws {
+			// Already at the window's highest-power column; freeze
+			// without moving (degenerate m==1 windows).
+			frozen[q] = true
+			continue
+		}
+		tmp[q] = p - 1
+		te += s.d[q][p-1] - s.d[q][p]
+		if p-1 == ws {
+			frozen[q] = true
+		}
+	}
+
+	if pos == 0 {
+		// Processing the first task in the sequence: no free tasks
+		// remain, so the paper replaces DPF with the slack ratio to
+		// emphasize using up the slack.
+		dpf = (d - te) / d
+	} else {
+		// Weighted column occupancy of the free tasks. Columns are
+		// weighted window-relative: the window's highest-power column
+		// ws weighs 1, decreasing linearly to 0 at the lowest-power
+		// column m-1 (Equation 2 when ws = 0; see DESIGN.md §2).
+		ufac := m - 1 - ws
+		if ufac > 0 {
+			f := 1.0 / float64(ufac)
+			x := float64(pos)
+			for w := 0; w < ufac; w++ {
+				col := w // DPFAbsolute: literal columns 0..ufac-1
+				if s.opt.DPFColumns == DPFWindowRelative {
+					col = ws + w
+				}
+				cnt := 0
+				for y := 0; y < pos; y++ {
+					if tmp[L[y]] == col {
+						cnt++
+					}
+				}
+				if cnt > 0 {
+					dpf += float64(ufac-w) * f * float64(cnt) / x
+				}
+			}
+		}
+	}
+	enr, cif = s.factorsOf(L, tmp)
+	return enr, cif, dpf
+}
+
+// factorsOf is the paper's CalculateFactors: the current-increase fraction
+// and normalized energy ratio of executing the tasks in order L with the
+// assignment tmp.
+func (s *Scheduler) factorsOf(L []int, tmp []int) (enr, cif float64) {
+	var en float64
+	inc := 0
+	prev := 0.0
+	for k, ti := range L {
+		c := s.cur[ti][tmp[ti]]
+		en += c * s.d[ti][tmp[ti]]
+		if k > 0 && prev < c {
+			inc++
+		}
+		prev = c
+	}
+	if s.n > 1 {
+		cif = float64(inc) / float64(s.n-1)
+	}
+	if s.eMax > s.eMin {
+		enr = (en - s.eMin) / (s.eMax - s.eMin)
+	}
+	return enr, cif
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/taskgraph"
+)
+
+// fig4Graph reconstructs the paper's Figure 4 worked example: five tasks
+// with four design points, energy vector E = [3,4,5,1,2]. Durations are
+// chosen so that, with T5@DP4 and T4@DP1 fixed and T3 tagged at DP2, the
+// deadline is met exactly after the first free task (T1) escalates
+// DP4 → DP3 → DP2, leaving T1@DP2 and T2@DP4 — the state the paper
+// evaluates to DPF = 1/3.
+func fig4Graph(t *testing.T) *taskgraph.Graph {
+	t.Helper()
+	var b taskgraph.Builder
+	// Per-task current scale fixes the average-energy order:
+	// avgE(T3) < avgE(T4) < avgE(T5) < avgE(T1) < avgE(T2).
+	scale := map[int]float64{3: 1, 4: 2, 5: 3, 1: 4, 2: 5}
+	for id := 1; id <= 5; id++ {
+		c := scale[id]
+		b.AddTask(id, "",
+			taskgraph.DesignPoint{Current: 8 * c, Time: 1},
+			taskgraph.DesignPoint{Current: 4 * c, Time: 2},
+			taskgraph.DesignPoint{Current: 2 * c, Time: 3},
+			taskgraph.DesignPoint{Current: 1 * c, Time: 4},
+		)
+	}
+	return b.MustBuild()
+}
+
+// TestDPFWorkedExampleFig4 drives calculateDPF with the exact state of the
+// paper's Figure 4 and requires DPF = 1/3 (the paper's hand computation:
+// f = 1/3, x = 2 free nodes, F4 = 1/2, F3 = 0, F2 = 1/2, F1 = 0).
+func TestDPFWorkedExampleFig4(t *testing.T) {
+	g := fig4Graph(t)
+	// Deadline 13: with T5@DP4 (4), T4@DP1 (1), T3 tagged DP2 (2) and
+	// free T1, T2 at DP4 (4+4), Te = 15 > 13; T1→DP3 gives 14 > 13;
+	// T1→DP2 gives 13 ≤ 13. Exactly the paper's two escalation steps.
+	s := mustScheduler(t, g, 13, Options{})
+
+	// Verify the energy vector is the paper's E = [3,4,5,1,2].
+	wantE := []int{3, 4, 5, 1, 2}
+	for k, ti := range s.energyOrder {
+		if g.IDAt(ti) != wantE[k] {
+			got := make([]int, len(s.energyOrder))
+			for i, x := range s.energyOrder {
+				got[i] = g.IDAt(x)
+			}
+			t.Fatalf("energy vector = %v, want %v", got, wantE)
+		}
+	}
+
+	// Sequence positions: T1,T2,T3,T4,T5 (IDs are already a topological
+	// order; there are no edges). T3 is at position 2, so positions 0
+	// and 1 (T1, T2) are free.
+	L := []int{0, 1, 2, 3, 4} // dense indices == ID-1 here
+	posOf := []int{0, 1, 2, 3, 4}
+	assign := []int{3, 3, 3, 0, 3} // T4@DP1 fixed, T5@DP4 fixed, free at DP4
+	pos := 2                       // T3 tagged
+	tagged := 2                    // dense index of T3
+	j := 1                         // DP2 (0-based 1)
+	ws := 0                        // full window
+
+	scratch := newDPFScratch(5)
+	enr, cif, dpf := s.calculateDPF(L, posOf, assign, pos, tagged, j, ws, scratch)
+	if !almost(dpf, 1.0/3.0, 1e-12) {
+		t.Fatalf("DPF = %v, want 1/3", dpf)
+	}
+	if math.IsInf(enr, 0) || enr < 0 || enr > 1 {
+		t.Fatalf("ENR out of range: %v", enr)
+	}
+	if cif < 0 || cif > 1 {
+		t.Fatalf("CIF out of range: %v", cif)
+	}
+	// The escalated hypothetical state leaves T1 at DP2 and T2 at DP4;
+	// the scratch buffer records it.
+	if scratch.tmp[0] != 1 || scratch.tmp[1] != 3 {
+		t.Fatalf("escalated state = %v, want T1@DP2(1), T2@DP4(3)", scratch.tmp[:2])
+	}
+}
+
+// TestDPFInfiniteWhenNoFreeTasks: when escalation runs out of free tasks
+// before the deadline fits, DPF must be +Inf so the tagged point is never
+// chosen.
+func TestDPFInfiniteWhenNoFreeTasks(t *testing.T) {
+	g := fig4Graph(t)
+	s := mustScheduler(t, g, 13, Options{})
+	L := []int{0, 1, 2, 3, 4}
+	posOf := []int{0, 1, 2, 3, 4}
+	// Same state as Fig. 4 but a deadline so tight that even both free
+	// tasks at DP1 cannot fit: fixed+tagged = 4+1+2 = 7, free minimum
+	// 1+1 = 2, so anything below 9 is hopeless.
+	s.deadline = 8
+	assign := []int{3, 3, 3, 0, 3}
+	scratch := newDPFScratch(5)
+	_, _, dpf := s.calculateDPF(L, posOf, assign, 2, 2, 1, 0, scratch)
+	if !math.IsInf(dpf, 1) {
+		t.Fatalf("DPF = %v, want +Inf", dpf)
+	}
+}
+
+// TestDPFLastTaskUsesSlackRatio: at sequence position 0 there are no free
+// tasks and DPF becomes (d − Te)/d.
+func TestDPFLastTaskUsesSlackRatio(t *testing.T) {
+	g := fig4Graph(t)
+	s := mustScheduler(t, g, 20, Options{})
+	L := []int{0, 1, 2, 3, 4}
+	posOf := []int{0, 1, 2, 3, 4}
+	// Everything fixed except position 0 (T1), tagged at DP1 (time 1).
+	assign := []int{3, 2, 2, 1, 3} // others: 3+3+2+4 = 12
+	scratch := newDPFScratch(5)
+	_, _, dpf := s.calculateDPF(L, posOf, assign, 0, 0, 0, 0, scratch)
+	te := 1.0 + 3 + 3 + 2 + 4
+	want := (20 - te) / 20
+	if !almost(dpf, want, 1e-12) {
+		t.Fatalf("DPF = %v, want slack ratio %v", dpf, want)
+	}
+}
+
+// TestEscalationOrderFollowsEnergyVector: the first escalated task must be
+// the free task with the smallest average energy (T1 in Fig. 4 — not T2,
+// which sits earlier in the sequence but has higher average energy).
+func TestEscalationOrderFollowsEnergyVector(t *testing.T) {
+	g := fig4Graph(t)
+	s := mustScheduler(t, g, 14, Options{}) // one escalation step suffices
+	L := []int{0, 1, 2, 3, 4}
+	posOf := []int{0, 1, 2, 3, 4}
+	assign := []int{3, 3, 3, 0, 3}
+	scratch := newDPFScratch(5)
+	s.calculateDPF(L, posOf, assign, 2, 2, 1, 0, scratch)
+	if scratch.tmp[0] != 2 || scratch.tmp[1] != 3 {
+		t.Fatalf("escalation should move T1 first: state %v", scratch.tmp[:2])
+	}
+}
+
+// TestChooseDesignPointsRespectsWindow: no task may be assigned a design
+// point faster than the window start.
+func TestChooseDesignPointsRespectsWindow(t *testing.T) {
+	g := taskgraph.G3()
+	s := mustScheduler(t, g, taskgraph.G3Deadline, Options{})
+	L := s.initialSequence()
+	for ws := 0; ws <= s.m-2; ws++ {
+		assign, ok := s.chooseDesignPoints(L, ws)
+		if !ok {
+			continue
+		}
+		for i, j := range assign {
+			if j < ws {
+				t.Fatalf("window %d: task %d assigned column %d", ws+1, g.IDAt(i), j+1)
+			}
+		}
+		if got := s.totalTime(assign); got > s.deadline+1e-9 {
+			t.Fatalf("window %d: deadline violated (%.4f)", ws+1, got)
+		}
+	}
+}
+
+// TestChooseDesignPointsLastTaskLowestPower pins the paper's S(n,m)=1 rule.
+func TestChooseDesignPointsLastTaskLowestPower(t *testing.T) {
+	g := taskgraph.G3()
+	s := mustScheduler(t, g, taskgraph.G3Deadline, Options{})
+	L := s.initialSequence()
+	assign, ok := s.chooseDesignPoints(L, s.m-2)
+	if !ok {
+		t.Fatal("window m-1 should be feasible at the paper's deadline")
+	}
+	last := L[len(L)-1]
+	if assign[last] != s.m-1 {
+		t.Fatalf("last task assigned column %d, want lowest power %d", assign[last]+1, s.m)
+	}
+}
+
+// TestEvaluateWindowsWidensUntilFeasible: at deadline 180 (< CT(4) = 219.3,
+// >= CT(3) = 175.5) the start window must be 3:5 and the sweep must
+// evaluate windows 3, 2, 1.
+func TestEvaluateWindowsWidensUntilFeasible(t *testing.T) {
+	g := taskgraph.G3()
+	s := mustScheduler(t, g, 180, Options{RecordTrace: true})
+	L := s.initialSequence()
+	_, _, windows := s.evaluateWindows(L)
+	if len(windows) != 3 {
+		t.Fatalf("evaluated %d windows, want 3", len(windows))
+	}
+	for k, want := range []int{3, 2, 1} {
+		if windows[k].WindowStart != want {
+			t.Fatalf("window starts = %v", windows)
+		}
+	}
+}
+
+// TestWindowPolicies: the ablation policies restrict the sweep as
+// documented.
+func TestWindowPolicies(t *testing.T) {
+	g := taskgraph.G3()
+	first := mustScheduler(t, g, taskgraph.G3Deadline, Options{Windows: WindowFirstFeasible, RecordTrace: true})
+	_, _, w1 := first.evaluateWindows(first.initialSequence())
+	if len(w1) != 1 || w1[0].WindowStart != 4 {
+		t.Fatalf("first-feasible windows = %v", w1)
+	}
+	full := mustScheduler(t, g, taskgraph.G3Deadline, Options{Windows: WindowFullOnly, RecordTrace: true})
+	_, _, w2 := full.evaluateWindows(full.initialSequence())
+	if len(w2) != 1 || w2[0].WindowStart != 1 {
+		t.Fatalf("full-only windows = %v", w2)
+	}
+}
+
+// TestFactorAblationsRun: every single-factor configuration must still
+// produce valid schedules (they are the ablation benchmarks).
+func TestFactorAblationsRun(t *testing.T) {
+	g := taskgraph.G3()
+	for _, f := range []FactorSet{
+		AllFactors &^ FactorSR, AllFactors &^ FactorCR, AllFactors &^ FactorENR,
+		AllFactors &^ FactorCIF, AllFactors &^ FactorDPF, FactorDPF,
+	} {
+		s := mustScheduler(t, g, taskgraph.G3Deadline, Options{Factors: f})
+		res, err := s.Run()
+		if err != nil {
+			t.Fatalf("factors %05b: %v", f, err)
+		}
+		if err := res.Schedule.ValidateDeadline(g, taskgraph.G3Deadline); err != nil {
+			t.Fatalf("factors %05b: %v", f, err)
+		}
+	}
+}
+
+// TestDisableResequencing reduces the run to one iteration.
+func TestDisableResequencing(t *testing.T) {
+	g := taskgraph.G3()
+	s := mustScheduler(t, g, taskgraph.G3Deadline, Options{DisableResequencing: true, RecordTrace: true})
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 1 {
+		t.Fatalf("iterations = %d, want 1", res.Iterations)
+	}
+	if res.Trace.Iterations[0].WeightedSequence != nil {
+		t.Fatal("resequencing trace present despite being disabled")
+	}
+	// And the full algorithm must do at least as well.
+	full := mustScheduler(t, g, taskgraph.G3Deadline, Options{})
+	fres, err := full.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fres.Cost > res.Cost+1e-9 {
+		t.Fatalf("resequencing hurt: %.1f vs %.1f", fres.Cost, res.Cost)
+	}
+}
+
+// TestTraceAssignmentsConsistent: every traced window assignment must be
+// deadline-feasible and respect its window.
+func TestTraceAssignmentsConsistent(t *testing.T) {
+	g := taskgraph.G3()
+	s := mustScheduler(t, g, taskgraph.G3Deadline, Options{RecordTrace: true})
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range res.Trace.Iterations {
+		if !g.IsTopoOrder(it.Sequence) {
+			t.Fatalf("traced sequence not topological: %v", it.Sequence)
+		}
+		for _, w := range it.Windows {
+			if !w.Feasible {
+				continue
+			}
+			var dur float64
+			for id, j := range w.Assignment {
+				if j+1 < w.WindowStart {
+					t.Fatalf("window %d assigned column %d to task %d", w.WindowStart, j+1, id)
+				}
+				dur += g.Task(id).Points[j].Time
+			}
+			if !almost(dur, w.Duration, 1e-6) {
+				t.Fatalf("window duration mismatch: %.4f vs %.4f", dur, w.Duration)
+			}
+			if dur > taskgraph.G3Deadline+1e-9 {
+				t.Fatalf("traced window violates deadline: %.4f", dur)
+			}
+		}
+	}
+	if res.Trace.String() == "" {
+		t.Fatal("trace should render")
+	}
+}

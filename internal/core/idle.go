@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/battery"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// This file extends the paper: its Section 3 motivates the recovery
+// effect (rest periods let the battery regain charge) but the algorithm
+// never *inserts* rest — it only reorders and rescales work. When a
+// schedule finishes before the deadline, the leftover slack can be spent
+// as idle intervals placed between tasks, where the battery model rewards
+// them most. IdlePlan computes such a placement greedily.
+
+// IdlePlan is a slack-as-rest assignment for a schedule: After[k] minutes
+// of idle time are inserted after the k-th task of the order.
+type IdlePlan struct {
+	// After[k] is the rest inserted after position k (minutes, >= 0).
+	After []float64
+	// Cost is sigma at the padded schedule's completion time.
+	Cost float64
+	// BaseCost is sigma of the unpadded schedule, for comparison.
+	BaseCost float64
+}
+
+// TotalIdle returns the summed rest time.
+func (p *IdlePlan) TotalIdle() float64 {
+	var s float64
+	for _, v := range p.After {
+		s += v
+	}
+	return s
+}
+
+// Apply converts the plan into a discharge profile: task intervals with
+// the planned rests interleaved (zero-length rests are skipped).
+func (p *IdlePlan) Apply(g *taskgraph.Graph, s *sched.Schedule) battery.Profile {
+	out := make(battery.Profile, 0, 2*len(s.Order))
+	for k, id := range s.Order {
+		pt := g.Task(id).Points[s.Assignment[id]]
+		out = append(out, battery.Interval{Current: pt.Current, Duration: pt.Time})
+		if k < len(p.After) && p.After[k] > 0 {
+			out = append(out, battery.Interval{Current: 0, Duration: p.After[k]})
+		}
+	}
+	return out
+}
+
+// OptimizeIdle distributes the schedule's deadline slack as rest periods,
+// greedily placing one chunk at a time at the position that lowers sigma
+// (evaluated at the padded completion time) the most, until the slack is
+// exhausted or no placement helps. chunks controls the granularity
+// (default 16 chunks of slack). The returned plan never increases cost:
+// if no rest helps, all After entries are zero and Cost == BaseCost.
+//
+// Only interior positions (after tasks 1..n-1) receive rest: sigma decays
+// monotonically once the last task ends, so trailing rest would "improve"
+// every schedule for free without changing the battery state at the end
+// of useful work. Interior rest is the genuine trade-off — it delays the
+// remaining tasks toward the evaluation horizon but lets earlier bursts
+// recover — and is the mechanism behind the paper's Section 3
+// recovery-effect discussion.
+func OptimizeIdle(g *taskgraph.Graph, s *sched.Schedule, deadline float64, m battery.Model, chunks int) (*IdlePlan, error) {
+	if err := s.ValidateDeadline(g, deadline); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		m = battery.NewRakhmatov(battery.DefaultBeta)
+	}
+	if chunks <= 0 {
+		chunks = 16
+	}
+	n := len(s.Order)
+	plan := &IdlePlan{After: make([]float64, n)}
+	base := s.Profile(g)
+	plan.BaseCost = m.ChargeLost(base, base.TotalTime())
+	plan.Cost = plan.BaseCost
+
+	slack := deadline - s.Duration(g)
+	if slack <= 0 {
+		return plan, nil
+	}
+	chunk := slack / float64(chunks)
+
+	evalWith := func(after []float64) float64 {
+		p := make(battery.Profile, 0, 2*n)
+		for k, id := range s.Order {
+			pt := g.Task(id).Points[s.Assignment[id]]
+			p = append(p, battery.Interval{Current: pt.Current, Duration: pt.Time})
+			if after[k] > 0 {
+				p = append(p, battery.Interval{Current: 0, Duration: after[k]})
+			}
+		}
+		return m.ChargeLost(p, p.TotalTime())
+	}
+
+	trial := make([]float64, n)
+	for remaining := slack; remaining > chunk/2; remaining -= chunk {
+		bestPos := -1
+		bestCost := plan.Cost
+		for k := 0; k < n-1; k++ {
+			copy(trial, plan.After)
+			trial[k] += chunk
+			if c := evalWith(trial); c < bestCost-1e-12 {
+				bestCost = c
+				bestPos = k
+			}
+		}
+		if bestPos < 0 {
+			break // no placement helps; stop spending slack
+		}
+		plan.After[bestPos] += chunk
+		plan.Cost = bestCost
+	}
+	return plan, nil
+}
+
+// RunWithIdle runs the full iterative algorithm and then spends the
+// remaining deadline slack as recovery rest. It returns the scheduler
+// result and the idle plan (which may be all-zero when rest cannot help).
+func RunWithIdle(g *taskgraph.Graph, deadline float64, opt Options) (*Result, *IdlePlan, error) {
+	s, err := New(g, deadline, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := s.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, err := OptimizeIdle(g, res.Schedule, deadline, s.Model(), 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: idle optimization: %w", err)
+	}
+	return res, plan, nil
+}
+
+// IdleSavings reports the relative sigma reduction of a plan (0 when rest
+// does not help).
+func IdleSavings(p *IdlePlan) float64 {
+	if p.BaseCost == 0 {
+		return 0
+	}
+	return math.Max(0, (p.BaseCost-p.Cost)/p.BaseCost)
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/battery"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// burstGraph is a two-task graph with one hot burst and one cool task —
+// the shape where rest between tasks pays off most.
+func burstGraph(t *testing.T) *taskgraph.Graph {
+	t.Helper()
+	var b taskgraph.Builder
+	b.AddTask(1, "hot", taskgraph.DesignPoint{Current: 900, Time: 10})
+	b.AddTask(2, "cool", taskgraph.DesignPoint{Current: 50, Time: 10})
+	b.AddEdge(1, 2)
+	return b.MustBuild()
+}
+
+func TestOptimizeIdleImprovesBurstSchedule(t *testing.T) {
+	g := burstGraph(t)
+	s := &sched.Schedule{Order: []int{1, 2}, Assignment: map[int]int{1: 0, 2: 0}}
+	m := battery.NewRakhmatov(battery.DefaultBeta)
+	plan, err := OptimizeIdle(g, s, 60, m, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cost >= plan.BaseCost {
+		t.Fatalf("idle insertion did not help: %.1f vs %.1f", plan.Cost, plan.BaseCost)
+	}
+	if plan.TotalIdle() <= 0 {
+		t.Fatal("no idle placed despite improvement")
+	}
+	// The padded profile must stay within the deadline and reproduce
+	// the reported cost.
+	p := plan.Apply(g, s)
+	if p.TotalTime() > 60+1e-9 {
+		t.Fatalf("padded profile exceeds deadline: %.2f", p.TotalTime())
+	}
+	if got := m.ChargeLost(p, p.TotalTime()); almost(got, plan.Cost, 1e-6) == false {
+		t.Fatalf("applied profile cost %.4f != plan cost %.4f", got, plan.Cost)
+	}
+	if IdleSavings(plan) <= 0 {
+		t.Fatal("savings should be positive")
+	}
+}
+
+func TestOptimizeIdleNeverHurts(t *testing.T) {
+	// Ideal battery: rest cannot help; the plan must stay all-zero.
+	g := burstGraph(t)
+	s := &sched.Schedule{Order: []int{1, 2}, Assignment: map[int]int{1: 0, 2: 0}}
+	plan, err := OptimizeIdle(g, s, 60, battery.Ideal{}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalIdle() != 0 || plan.Cost != plan.BaseCost {
+		t.Fatalf("ideal battery should get no idle: %+v", plan)
+	}
+	if IdleSavings(plan) != 0 {
+		t.Fatal("savings should be zero")
+	}
+}
+
+func TestOptimizeIdleNoSlack(t *testing.T) {
+	g := burstGraph(t)
+	s := &sched.Schedule{Order: []int{1, 2}, Assignment: map[int]int{1: 0, 2: 0}}
+	plan, err := OptimizeIdle(g, s, 20, nil, 0) // deadline == duration
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalIdle() != 0 {
+		t.Fatal("no slack should mean no idle")
+	}
+}
+
+func TestOptimizeIdleValidates(t *testing.T) {
+	g := burstGraph(t)
+	s := &sched.Schedule{Order: []int{2, 1}, Assignment: map[int]int{1: 0, 2: 0}}
+	if _, err := OptimizeIdle(g, s, 60, nil, 0); err == nil {
+		t.Fatal("invalid schedule should be rejected")
+	}
+	ok := &sched.Schedule{Order: []int{1, 2}, Assignment: map[int]int{1: 0, 2: 0}}
+	if _, err := OptimizeIdle(g, ok, 19, nil, 0); err == nil {
+		t.Fatal("deadline below duration should be rejected")
+	}
+}
+
+func TestRunWithIdleOnG3(t *testing.T) {
+	g := taskgraph.G3()
+	res, plan, err := RunWithIdle(g, taskgraph.G3Deadline, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.BaseCost != res.Cost {
+		t.Fatalf("plan base %.1f != run cost %.1f", plan.BaseCost, res.Cost)
+	}
+	if plan.Cost > plan.BaseCost {
+		t.Fatalf("idle increased cost: %.1f > %.1f", plan.Cost, plan.BaseCost)
+	}
+	// Padded completion must respect the deadline.
+	p := plan.Apply(g, res.Schedule)
+	if p.TotalTime() > taskgraph.G3Deadline+1e-9 {
+		t.Fatalf("padded profile exceeds deadline: %.2f", p.TotalTime())
+	}
+}
+
+func TestIdlePlacementPrefersAfterBurst(t *testing.T) {
+	// Three tasks: cool, hot, cool, with slack. Rest should concentrate
+	// after the hot task (position 1), where recovery pays most.
+	var b taskgraph.Builder
+	b.AddTask(1, "", taskgraph.DesignPoint{Current: 50, Time: 5})
+	b.AddTask(2, "", taskgraph.DesignPoint{Current: 900, Time: 5})
+	b.AddTask(3, "", taskgraph.DesignPoint{Current: 50, Time: 5})
+	b.AddEdge(1, 2).AddEdge(2, 3)
+	g := b.MustBuild()
+	s := &sched.Schedule{Order: []int{1, 2, 3}, Assignment: map[int]int{1: 0, 2: 0, 3: 0}}
+	plan, err := OptimizeIdle(g, s, 35, battery.NewRakhmatov(battery.DefaultBeta), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalIdle() == 0 {
+		t.Fatal("expected idle to be placed")
+	}
+	if plan.After[1] < plan.After[0] || plan.After[1] < plan.After[2] {
+		t.Fatalf("rest not concentrated after the burst: %v", plan.After)
+	}
+}

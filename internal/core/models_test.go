@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/battery"
+	"repro/internal/taskgraph"
+)
+
+// TestSchedulerWithAlternativeModels runs the full algorithm with every
+// battery model plugged in through the Options.Model seam. All must yield
+// valid deadline-feasible schedules; the relative quality ordering is
+// model-dependent and not asserted.
+func TestSchedulerWithAlternativeModels(t *testing.T) {
+	g := taskgraph.G3()
+	models := []battery.Model{
+		battery.NewRakhmatov(0.273),
+		battery.Ideal{},
+		battery.NewPeukert(1.2, 100),
+		battery.NewKiBaM(200000, 0.6, 0.05),
+	}
+	for _, m := range models {
+		s, err := New(g, taskgraph.G3Deadline, Options{Model: m})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if err := res.Schedule.ValidateDeadline(g, taskgraph.G3Deadline); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if res.Cost < 0 {
+			t.Fatalf("%s: negative cost %g", m.Name(), res.Cost)
+		}
+	}
+}
+
+// TestIdealModelReducesToEnergyMinimization: with the ideal battery the
+// cost is just the delivered charge, so the result can never beat the
+// exact minimum-energy assignment's energy — and should land close to it.
+func TestIdealModelReducesToEnergyMinimization(t *testing.T) {
+	g := taskgraph.G3()
+	s, err := New(g, taskgraph.G3Deadline, Options{Model: battery.Ideal{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The DP optimum energy at 230 is 11797 (verified in the baseline
+	// tests against the paper's Table 4 machinery).
+	const optimalEnergy = 11797
+	if res.Cost < optimalEnergy-1 {
+		t.Fatalf("ideal-model cost %.1f beats the provable energy optimum %d", res.Cost, optimalEnergy)
+	}
+	if res.Cost > optimalEnergy*1.25 {
+		t.Fatalf("ideal-model cost %.1f more than 25%% above the energy optimum %d", res.Cost, optimalEnergy)
+	}
+}
+
+// TestG2Deadline55Anchor pins the facade-level Table 4 anchor: ours on
+// G2 at the tight deadline reproduces the paper's 30913 exactly.
+func TestG2Deadline55Anchor(t *testing.T) {
+	g := taskgraph.G2()
+	s, err := New(g, 55, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.Cost, 30913, 1.0) {
+		t.Fatalf("G2@55 sigma = %.2f, want 30913 ± 1 (Table 4)", res.Cost)
+	}
+}
+
+// TestNeverBeatsExhaustiveOptimum: on random small instances the
+// heuristic must never report a cost below the branch-and-bound optimum
+// (that would mean the two disagree about the cost function).
+func TestNeverBeatsExhaustiveOptimum(t *testing.T) {
+	// Import cycle prevents using internal/baseline here; replicate a
+	// tiny exhaustive search over this fixed 4-task diamond instead.
+	var b taskgraph.Builder
+	b.AddTask(1, "", taskgraph.DesignPoint{Current: 500, Time: 2}, taskgraph.DesignPoint{Current: 120, Time: 4})
+	b.AddTask(2, "", taskgraph.DesignPoint{Current: 700, Time: 1}, taskgraph.DesignPoint{Current: 150, Time: 2.5})
+	b.AddTask(3, "", taskgraph.DesignPoint{Current: 400, Time: 1.5}, taskgraph.DesignPoint{Current: 90, Time: 3})
+	b.AddTask(4, "", taskgraph.DesignPoint{Current: 600, Time: 2}, taskgraph.DesignPoint{Current: 130, Time: 4.5})
+	b.AddEdge(1, 2).AddEdge(1, 3).AddEdge(2, 4).AddEdge(3, 4)
+	g := b.MustBuild()
+	const deadline = 12.0
+	model := battery.NewRakhmatov(0.273)
+
+	best := 1e18
+	orders := [][]int{{1, 2, 3, 4}, {1, 3, 2, 4}}
+	for _, order := range orders {
+		for mask := 0; mask < 16; mask++ {
+			var p battery.Profile
+			var dur float64
+			for k, id := range order {
+				j := (mask >> uint(k)) & 1
+				pt := g.Task(id).Points[j]
+				p = append(p, battery.Interval{Current: pt.Current, Duration: pt.Time})
+				dur += pt.Time
+			}
+			if dur > deadline {
+				continue
+			}
+			if c := model.ChargeLost(p, dur); c < best {
+				best = c
+			}
+		}
+	}
+	s, err := New(g, deadline, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost < best-1e-6 {
+		t.Fatalf("heuristic cost %.4f below exhaustive optimum %.4f — cost functions disagree", res.Cost, best)
+	}
+	if res.Cost > best*1.25 {
+		t.Logf("note: heuristic %.1f vs optimum %.1f (%.1f%% gap) on this tiny instance", res.Cost, best, (res.Cost/best-1)*100)
+	}
+}

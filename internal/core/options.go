@@ -1,0 +1,179 @@
+// Package core implements the paper's contribution: the iterative
+// battery-aware task sequencing and design-point allocation algorithm
+// (BatteryAwareSQNDPAllocation, Figures 1–2 of Khan & Vemuri, DATE 2005).
+//
+// Each iteration (a) runs a window-masked backward pass that assigns every
+// task a design point by minimizing the suitability score
+// B = SR + CR + ENR + CIF + DPF, (b) evaluates the battery cost of the
+// resulting schedule with the Rakhmatov–Vrudhula model, and (c) re-sequences
+// the tasks by the subgraph current weights of Equation 4. The loop stops
+// as soon as an iteration fails to improve on the previous one, so a valid
+// schedule is available after every iteration — the property the paper
+// emphasizes for on-device use.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/battery"
+)
+
+// InitialWeight selects the priority used by the initial list schedule
+// (the paper's SequenceDecEnergy).
+type InitialWeight int
+
+const (
+	// WeightAvgCurrent ranks ready tasks by mean current over their
+	// design points. The paper's text says "average energy", but its
+	// printed first sequence S1 for G3 is reproduced exactly by average
+	// current (and not by average energy), so this is the default. See
+	// DESIGN.md §2.
+	WeightAvgCurrent InitialWeight = iota
+	// WeightAvgEnergy ranks ready tasks by mean charge-energy (I·t)
+	// over their design points — the paper's literal wording, kept for
+	// ablation.
+	WeightAvgEnergy
+)
+
+func (w InitialWeight) String() string {
+	switch w {
+	case WeightAvgCurrent:
+		return "avg-current"
+	case WeightAvgEnergy:
+		return "avg-energy"
+	default:
+		return fmt.Sprintf("InitialWeight(%d)", int(w))
+	}
+}
+
+// FactorSet is a bitmask of suitability terms, used by ablation studies to
+// switch individual terms of B off.
+type FactorSet uint8
+
+// Suitability terms of B = SR + CR + ENR + CIF + DPF.
+const (
+	FactorSR FactorSet = 1 << iota
+	FactorCR
+	FactorENR
+	FactorCIF
+	FactorDPF
+
+	// AllFactors enables every term (the paper's configuration).
+	AllFactors = FactorSR | FactorCR | FactorENR | FactorCIF | FactorDPF
+)
+
+// Has reports whether f includes t.
+func (f FactorSet) Has(t FactorSet) bool { return f&t != 0 }
+
+// WindowPolicy selects which windows the per-iteration search evaluates.
+type WindowPolicy int
+
+const (
+	// WindowSweepAll evaluates every window from the first feasible
+	// start down to the full design space (the paper's EvaluateWindows).
+	WindowSweepAll WindowPolicy = iota
+	// WindowFirstFeasible evaluates only the narrowest feasible window;
+	// used by ablations to measure what the sweep buys.
+	WindowFirstFeasible
+	// WindowFullOnly evaluates only the full window (all design
+	// points); used by ablations.
+	WindowFullOnly
+)
+
+func (w WindowPolicy) String() string {
+	switch w {
+	case WindowSweepAll:
+		return "sweep-all"
+	case WindowFirstFeasible:
+		return "first-feasible"
+	case WindowFullOnly:
+		return "full-only"
+	default:
+		return fmt.Sprintf("WindowPolicy(%d)", int(w))
+	}
+}
+
+// Options configures the scheduler. The zero value reproduces the paper's
+// configuration (beta 0.273, ten series terms, average-current initial
+// order, full window sweep, all suitability terms, resequencing on).
+type Options struct {
+	// Beta is the Rakhmatov–Vrudhula diffusion parameter
+	// (min^-1/2); 0 selects the paper's 0.273. Ignored if Model is set.
+	Beta float64
+	// SeriesTerms is the number of Equation-1 series terms; 0 selects
+	// the paper's 10. Ignored if Model is set.
+	SeriesTerms int
+	// Model overrides the battery model used as the cost function.
+	Model battery.Model
+	// InitialOrder selects the first-iteration sequencing weight.
+	InitialOrder InitialWeight
+	// MaxIterations caps the improvement loop as a safety net; 0 means
+	// 100. The paper's loop terminates on its own (costs strictly
+	// decrease while it continues), so the cap is rarely reached.
+	MaxIterations int
+	// RecordTrace attaches a full per-iteration trace (sequences,
+	// per-window costs, assignments) to the result — the data behind
+	// the paper's Tables 2 and 3.
+	RecordTrace bool
+	// Factors selects the active suitability terms; 0 means all.
+	Factors FactorSet
+	// Windows selects the window evaluation policy.
+	Windows WindowPolicy
+	// DisableResequencing skips the Equation-4 weighted resequencing,
+	// reducing the algorithm to a single window-search pass (ablation).
+	DisableResequencing bool
+	// DPFColumns selects how the Fig. 2 pseudocode's DPF column loop is
+	// read (the paper is ambiguous for windows narrower than the full
+	// design space; see DESIGN.md §2).
+	DPFColumns DPFColumnRule
+	// Parallel evaluates the per-iteration windows concurrently. The
+	// result is identical to the sequential path; only wall-clock time
+	// changes (useful on desktop hosts for large graphs — the paper's
+	// embedded target would keep this off).
+	Parallel bool
+}
+
+// DPFColumnRule selects the DPF column-weight interpretation.
+type DPFColumnRule int
+
+const (
+	// DPFWindowRelative weights the window's highest-power column 1,
+	// decreasing linearly to 0 at the lowest-power column. It reduces
+	// to the paper's Equation 2 for the full window and keeps the
+	// stated intent for narrower ones (default).
+	DPFWindowRelative DPFColumnRule = iota
+	// DPFAbsolute reads the Fig. 2 loop literally: absolute columns
+	// 1..(m−WindowStart) carry the decreasing weights, even though the
+	// columns below WindowStart are masked out and always empty.
+	DPFAbsolute
+)
+
+func (r DPFColumnRule) String() string {
+	switch r {
+	case DPFWindowRelative:
+		return "window-relative"
+	case DPFAbsolute:
+		return "absolute"
+	default:
+		return fmt.Sprintf("DPFColumnRule(%d)", int(r))
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Beta == 0 {
+		o.Beta = battery.DefaultBeta
+	}
+	if o.SeriesTerms == 0 {
+		o.SeriesTerms = battery.DefaultTerms
+	}
+	if o.Model == nil {
+		o.Model = battery.Rakhmatov{Beta: o.Beta, Terms: o.SeriesTerms}
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 100
+	}
+	if o.Factors == 0 {
+		o.Factors = AllFactors
+	}
+	return o
+}

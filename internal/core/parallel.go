@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// This file adds two engineering extensions around the paper's algorithm:
+// parallel window evaluation (the per-iteration windows are independent,
+// so a desktop host can fan them out across cores — the embedded target
+// the paper envisions would keep the sequential path) and multi-start
+// search over randomized initial sequences (the algorithm is greedy in
+// its first sequence; restarts recover some of the gap to heavier
+// searches at a controlled cost).
+
+// evaluateWindowsParallel is evaluateWindows with each window's backward
+// pass running in its own goroutine. Results are identical to the
+// sequential path (windows are independent and the merge is
+// deterministic); only wall-clock changes.
+func (s *Scheduler) evaluateWindowsParallel(L []int) (bestAssign []int, bestCost float64, windows []WindowTrace) {
+	start := s.m - 2
+	if start < 0 {
+		start = 0
+	}
+	for s.columnTime(start) > s.deadline+timeEps {
+		if start == 0 {
+			return nil, math.Inf(1), nil
+		}
+		start--
+	}
+	lo := 0
+	switch s.opt.Windows {
+	case WindowFirstFeasible:
+		lo = start
+	case WindowFullOnly:
+		start = 0
+	}
+	count := start - lo + 1
+	type slot struct {
+		trace  WindowTrace
+		assign []int
+	}
+	slots := make([]slot, count)
+	var wg sync.WaitGroup
+	for k := 0; k < count; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			ws := start - k
+			assign, ok := s.chooseDesignPoints(L, ws)
+			wt := WindowTrace{WindowStart: ws + 1, Feasible: ok, Cost: math.Inf(1)}
+			if ok {
+				wt.Cost = s.costOf(L, assign)
+				wt.Duration = s.totalTime(assign)
+				if s.opt.RecordTrace {
+					wt.Assignment = s.assignmentMap(assign)
+				}
+			}
+			slots[k] = slot{trace: wt, assign: assign}
+		}(k)
+	}
+	wg.Wait()
+	bestCost = math.Inf(1)
+	for k := range slots {
+		windows = append(windows, slots[k].trace)
+		if slots[k].trace.Feasible && slots[k].trace.Cost < bestCost {
+			bestCost = slots[k].trace.Cost
+			bestAssign = slots[k].assign
+		}
+	}
+	return bestAssign, bestCost, windows
+}
+
+// MultiStartOptions configures RunMultiStart.
+type MultiStartOptions struct {
+	// Restarts is the number of additional runs from randomized
+	// initial sequences (default 8). The deterministic paper run is
+	// always included, so the result can never be worse than Run's.
+	Restarts int
+	// Seed makes the randomized starts reproducible.
+	Seed int64
+}
+
+// RunMultiStart runs the paper's algorithm once from its deterministic
+// initial sequence and again from `Restarts` random topological orders,
+// returning the best result. Randomization perturbs only the initial
+// list-scheduling weights; everything downstream is the unmodified
+// algorithm.
+func RunMultiStart(s *Scheduler, opts MultiStartOptions) (*Result, error) {
+	if opts.Restarts <= 0 {
+		opts.Restarts = 8
+	}
+	best, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for r := 0; r < opts.Restarts; r++ {
+		w := make([]float64, s.n)
+		for i := range w {
+			w[i] = rng.Float64()
+		}
+		L := s.listSchedule(w)
+		res, err := s.runFrom(L)
+		if err != nil {
+			return nil, err
+		}
+		if res.Cost < best.Cost {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// runFrom executes the iterative loop starting from an explicit initial
+// sequence (dense indices) instead of SequenceDecEnergy's.
+func (s *Scheduler) runFrom(initial []int) (*Result, error) {
+	if s.g.MinTotalTime() > s.deadline+timeEps {
+		return nil, ErrDeadlineInfeasible
+	}
+	L := append([]int(nil), initial...)
+	bestCost := math.Inf(1)
+	var bestOrder, bestAssign []int
+	prev := math.Inf(1)
+	iterations := 0
+	for iter := 0; iter < s.opt.MaxIterations; iter++ {
+		iterations++
+		wAssign, wCost, _ := s.windows(L)
+		if wAssign == nil {
+			wAssign = make([]int, s.n)
+			wCost = s.costOf(L, wAssign)
+		}
+		iterCost := wCost
+		iterOrder := L
+		if !s.opt.DisableResequencing {
+			Lw := s.weightedSequence(wAssign)
+			if cw := s.costOf(Lw, wAssign); cw < iterCost {
+				iterCost = cw
+				iterOrder = Lw
+			}
+			L = Lw
+		}
+		if iterCost < bestCost {
+			bestCost = iterCost
+			bestOrder = append(bestOrder[:0], iterOrder...)
+			bestAssign = append(bestAssign[:0], wAssign...)
+		}
+		if iterCost >= prev || s.opt.DisableResequencing {
+			break
+		}
+		prev = iterCost
+	}
+	schedule := s.scheduleFrom(bestOrder, bestAssign)
+	p := schedule.Profile(s.g)
+	dur := p.TotalTime()
+	return &Result{
+		Schedule:   schedule,
+		Cost:       bestCost,
+		Duration:   dur,
+		Energy:     p.DeliveredCharge(dur),
+		Iterations: iterations,
+	}, nil
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/taskgraph"
+)
+
+// TestParallelMatchesSequential: the concurrent window evaluator must
+// produce bit-identical results to the sequential one.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, g := range []*taskgraph.Graph{taskgraph.G2(), taskgraph.G3()} {
+		deadline := g.MinTotalTime() + 0.7*(g.MaxTotalTime()-g.MinTotalTime())
+		seq := mustScheduler(t, g, deadline, Options{RecordTrace: true})
+		par := mustScheduler(t, g, deadline, Options{RecordTrace: true, Parallel: true})
+		rs, err := seq.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, err := par.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs.Cost != rp.Cost {
+			t.Fatalf("parallel cost %.6f != sequential %.6f", rp.Cost, rs.Cost)
+		}
+		if !seqEqual(rs.Schedule.Order, rp.Schedule.Order) {
+			t.Fatalf("parallel order %v != sequential %v", rp.Schedule.Order, rs.Schedule.Order)
+		}
+		if len(rs.Trace.Iterations) != len(rp.Trace.Iterations) {
+			t.Fatalf("iteration counts differ: %d vs %d", len(rs.Trace.Iterations), len(rp.Trace.Iterations))
+		}
+		for k := range rs.Trace.Iterations {
+			ws, wp := rs.Trace.Iterations[k].Windows, rp.Trace.Iterations[k].Windows
+			if len(ws) != len(wp) {
+				t.Fatalf("iteration %d window counts differ", k)
+			}
+			for j := range ws {
+				if ws[j].WindowStart != wp[j].WindowStart || ws[j].Cost != wp[j].Cost {
+					t.Fatalf("iteration %d window %d differs: %+v vs %+v", k, j, ws[j], wp[j])
+				}
+			}
+		}
+	}
+}
+
+// TestMultiStartNeverWorse: the deterministic run is included, so
+// multi-start can only match or improve it — and it must stay feasible.
+func TestMultiStartNeverWorse(t *testing.T) {
+	for _, tc := range []struct {
+		g *taskgraph.Graph
+		d float64
+	}{
+		{taskgraph.G2(), 75},
+		{taskgraph.G3(), taskgraph.G3Deadline},
+	} {
+		s := mustScheduler(t, tc.g, tc.d, Options{})
+		base, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi, err := RunMultiStart(s, MultiStartOptions{Restarts: 6, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if multi.Cost > base.Cost+1e-9 {
+			t.Fatalf("multi-start %.2f worse than base %.2f", multi.Cost, base.Cost)
+		}
+		if err := multi.Schedule.ValidateDeadline(tc.g, tc.d); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMultiStartDeterministic(t *testing.T) {
+	g := taskgraph.G3()
+	s := mustScheduler(t, g, taskgraph.G3Deadline, Options{})
+	a, err := RunMultiStart(s, MultiStartOptions{Restarts: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMultiStart(s, MultiStartOptions{Restarts: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost || !seqEqual(a.Schedule.Order, b.Schedule.Order) {
+		t.Fatal("multi-start not deterministic for a fixed seed")
+	}
+}
+
+func TestRunFromInfeasible(t *testing.T) {
+	g := taskgraph.G3()
+	s := mustScheduler(t, g, taskgraph.G3Deadline, Options{})
+	s.deadline = 1 // force infeasible after construction
+	if _, err := s.runFrom(s.initialSequence()); err == nil {
+		t.Fatal("want infeasible error")
+	}
+}

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/battery"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// timeEps absorbs float accumulation noise in deadline comparisons (the
+// paper's data carries 0.1-minute granularity; 1e-9 is far below it).
+const timeEps = 1e-9
+
+// ErrDeadlineInfeasible is returned when even the all-fastest assignment
+// misses the deadline — the paper's "the deadline cannot be met" exit.
+var ErrDeadlineInfeasible = errors.New("core: deadline cannot be met even with the fastest design points")
+
+// Result is the outcome of a scheduler run.
+type Result struct {
+	// Schedule is the best schedule found: a topological task order
+	// plus per-task design points. It always satisfies the deadline.
+	Schedule *sched.Schedule
+	// Cost is the schedule's battery cost: sigma at completion, mA·min.
+	Cost float64
+	// Duration is the schedule completion time in minutes.
+	Duration float64
+	// Energy is the delivered charge, mA·min (the ideal-model cost).
+	Energy float64
+	// Iterations is how many outer-loop iterations ran (including the
+	// terminating non-improving one).
+	Iterations int
+	// Trace is the per-iteration history (nil unless requested).
+	Trace *Trace
+}
+
+// Scheduler runs the paper's algorithm for one task graph and deadline.
+// Create it with New; a Scheduler is safe for repeated Run calls but not
+// for concurrent use.
+type Scheduler struct {
+	g        *taskgraph.Graph
+	deadline float64
+	opt      Options
+	model    battery.Model
+
+	n, m int
+	// d and cur are the paper's D and I matrices indexed
+	// [taskIndex][column]: times ascending, currents non-increasing.
+	d, cur [][]float64
+	avgCur []float64
+	avgEn  []float64
+	iMin   float64
+	iMax   float64
+	eMin   float64
+	eMax   float64
+	// energyOrder is the paper's Energy Vector E: task indices sorted
+	// by ascending average energy (ties by smaller ID).
+	energyOrder []int
+}
+
+// New validates the inputs and prepares a scheduler. The graph must give
+// every task the same number of design points (the paper's model); the
+// deadline must be positive and reachable with the fastest points.
+func New(g *taskgraph.Graph, deadline float64, opt Options) (*Scheduler, error) {
+	if g == nil {
+		return nil, errors.New("core: nil graph")
+	}
+	if deadline <= 0 || math.IsNaN(deadline) || math.IsInf(deadline, 0) {
+		return nil, fmt.Errorf("core: deadline must be positive and finite, got %g", deadline)
+	}
+	m, uniform := g.UniformPointCount()
+	if !uniform {
+		return nil, errors.New("core: every task must have the same number of design points")
+	}
+	opt = opt.withDefaults()
+	n := g.N()
+	s := &Scheduler{
+		g:        g,
+		deadline: deadline,
+		opt:      opt,
+		model:    opt.Model,
+		n:        n,
+		m:        m,
+		d:        make([][]float64, n),
+		cur:      make([][]float64, n),
+		avgCur:   make([]float64, n),
+		avgEn:    make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		t := g.TaskAt(i)
+		s.d[i] = make([]float64, m)
+		s.cur[i] = make([]float64, m)
+		for j := 0; j < m; j++ {
+			s.d[i][j] = t.Points[j].Time
+			s.cur[i][j] = t.Points[j].Current
+		}
+		s.avgCur[i] = t.AvgCurrent()
+		s.avgEn[i] = t.AvgEnergy()
+	}
+	s.iMin, s.iMax = g.CurrentRange()
+	s.eMin, s.eMax = g.EnergyRange()
+	s.energyOrder = make([]int, n)
+	for i := range s.energyOrder {
+		s.energyOrder[i] = i
+	}
+	sort.SliceStable(s.energyOrder, func(a, b int) bool {
+		ia, ib := s.energyOrder[a], s.energyOrder[b]
+		if s.avgEn[ia] != s.avgEn[ib] {
+			return s.avgEn[ia] < s.avgEn[ib]
+		}
+		return g.IDAt(ia) < g.IDAt(ib)
+	})
+	return s, nil
+}
+
+// Graph returns the graph the scheduler was built for.
+func (s *Scheduler) Graph() *taskgraph.Graph { return s.g }
+
+// Deadline returns the deadline the scheduler was built for.
+func (s *Scheduler) Deadline() float64 { return s.deadline }
+
+// Model returns the battery model used as the cost function.
+func (s *Scheduler) Model() battery.Model { return s.model }
+
+// Run executes the iterative algorithm and returns the best schedule
+// found. It fails with ErrDeadlineInfeasible when no assignment can meet
+// the deadline.
+func (s *Scheduler) Run() (*Result, error) {
+	if s.g.MinTotalTime() > s.deadline+timeEps {
+		return nil, ErrDeadlineInfeasible
+	}
+	var trace *Trace
+	L := s.initialSequence()
+	if s.opt.RecordTrace {
+		trace = &Trace{InitialSequence: s.idsOf(L)}
+	}
+
+	bestCost := math.Inf(1)
+	var bestOrder []int
+	var bestAssign []int
+	prevIterCost := math.Inf(1)
+	iterations := 0
+
+	for iter := 0; iter < s.opt.MaxIterations; iter++ {
+		iterations++
+		wBestAssign, wBestCost, windows := s.windows(L)
+		it := IterationTrace{WindowCost: wBestCost, BestWindow: -1}
+		if s.opt.RecordTrace {
+			it.Sequence = s.idsOf(L)
+			it.Windows = windows
+			for k := range windows {
+				if windows[k].Feasible && (it.BestWindow < 0 || windows[k].Cost < windows[it.BestWindow].Cost) {
+					it.BestWindow = k
+				}
+			}
+		}
+		if wBestAssign == nil {
+			// No window produced a feasible assignment. The paper's
+			// pseudocode does not reach this state for its inputs;
+			// we fall back to the always-feasible all-fastest
+			// assignment so a caller with a met-able deadline never
+			// gets an error (see DESIGN.md §2).
+			wBestAssign = make([]int, s.n)
+			wBestCost = s.costOf(L, wBestAssign)
+		}
+
+		iterCost := wBestCost
+		iterOrder := L
+		if !s.opt.DisableResequencing {
+			Lw := s.weightedSequence(wBestAssign)
+			cw := s.costOf(Lw, wBestAssign)
+			if s.opt.RecordTrace {
+				it.WeightedSequence = s.idsOf(Lw)
+				it.WeightedCost = cw
+			}
+			if cw < iterCost {
+				iterCost = cw
+				iterOrder = Lw
+			}
+			L = Lw
+		}
+		it.IterationCost = iterCost
+		if s.opt.RecordTrace {
+			it.Assignment = s.assignmentMap(wBestAssign)
+			trace.Iterations = append(trace.Iterations, it)
+		}
+
+		if iterCost < bestCost {
+			bestCost = iterCost
+			bestOrder = append([]int(nil), iterOrder...)
+			bestAssign = append([]int(nil), wBestAssign...)
+		}
+		if iterCost >= prevIterCost || s.opt.DisableResequencing {
+			break
+		}
+		prevIterCost = iterCost
+	}
+
+	schedule := &sched.Schedule{
+		Order:      s.idsOf(bestOrder),
+		Assignment: s.assignmentMap(bestAssign),
+	}
+	p := schedule.Profile(s.g)
+	dur := p.TotalTime()
+	return &Result{
+		Schedule:   schedule,
+		Cost:       bestCost,
+		Duration:   dur,
+		Energy:     p.DeliveredCharge(dur),
+		Iterations: iterations,
+		Trace:      trace,
+	}, nil
+}
+
+// initialSequence is the paper's SequenceDecEnergy: list scheduling with a
+// static per-task weight (average current by default; see InitialWeight),
+// larger weights scheduled earlier among ready tasks.
+func (s *Scheduler) initialSequence() []int {
+	w := s.avgCur
+	if s.opt.InitialOrder == WeightAvgEnergy {
+		w = s.avgEn
+	}
+	return s.listSchedule(w)
+}
+
+// InitialSequence exposes the first-iteration order as task IDs (used by
+// tests and the experiment harness).
+func (s *Scheduler) InitialSequence() []int { return s.idsOf(s.initialSequence()) }
+
+// weightedSequence is the paper's FindWeightedSequence: Equation 4 assigns
+// every task the sum of the assigned-design-point currents over the
+// subgraph rooted at it, then list-schedules by decreasing weight.
+func (s *Scheduler) weightedSequence(assign []int) []int {
+	w := make([]float64, s.n)
+	for i := 0; i < s.n; i++ {
+		var sum float64
+		for _, u := range s.g.ReachableIndices(i) {
+			sum += s.cur[u][assign[u]]
+		}
+		w[i] = sum
+	}
+	return s.listSchedule(w)
+}
+
+// WeightedSequence exposes Equation-4 resequencing for a given assignment
+// (task ID → 0-based design point), returning task IDs.
+func (s *Scheduler) WeightedSequence(assignment map[int]int) ([]int, error) {
+	assign, err := s.assignmentArray(assignment)
+	if err != nil {
+		return nil, err
+	}
+	return s.idsOf(s.weightedSequence(assign)), nil
+}
+
+// listSchedule runs the modified list scheduler both sequencers share:
+// repeatedly emit the ready task with the largest weight (ties broken by
+// smaller task ID). The result is a topological order by construction.
+func (s *Scheduler) listSchedule(weight []float64) []int {
+	indeg := make([]int, s.n)
+	for i := 0; i < s.n; i++ {
+		indeg[i] = len(s.g.ParentIndices(i))
+	}
+	ready := make([]int, 0, s.n)
+	for i := 0; i < s.n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	order := make([]int, 0, s.n)
+	for len(ready) > 0 {
+		pick := 0
+		for k := 1; k < len(ready); k++ {
+			a, b := ready[k], ready[pick]
+			if weight[a] > weight[b] || (weight[a] == weight[b] && s.g.IDAt(a) < s.g.IDAt(b)) {
+				pick = k
+			}
+		}
+		u := ready[pick]
+		ready = append(ready[:pick], ready[pick+1:]...)
+		order = append(order, u)
+		for _, v := range s.g.ChildIndices(u) {
+			indeg[v]--
+			if indeg[v] == 0 {
+				ready = append(ready, v)
+			}
+		}
+	}
+	return order
+}
+
+// costOf evaluates the battery cost (sigma at completion) of executing the
+// tasks in order L (indices) with the given assignment (indexed by task).
+func (s *Scheduler) costOf(L []int, assign []int) float64 {
+	p := make(battery.Profile, 0, len(L))
+	for _, ti := range L {
+		p = append(p, battery.Interval{Current: s.cur[ti][assign[ti]], Duration: s.d[ti][assign[ti]]})
+	}
+	return s.model.ChargeLost(p, p.TotalTime())
+}
+
+// CostOf evaluates sigma at completion for an explicit order (task IDs)
+// and assignment (task ID → 0-based design point), exposed for the
+// experiment harness and tests.
+func (s *Scheduler) CostOf(order []int, assignment map[int]int) (float64, error) {
+	assign, err := s.assignmentArray(assignment)
+	if err != nil {
+		return 0, err
+	}
+	if len(order) != s.n {
+		return 0, fmt.Errorf("core: order has %d tasks, graph has %d", len(order), s.n)
+	}
+	L := make([]int, len(order))
+	for k, id := range order {
+		i, ok := s.g.Index(id)
+		if !ok {
+			return 0, fmt.Errorf("core: unknown task %d in order", id)
+		}
+		L[k] = i
+	}
+	return s.costOf(L, assign), nil
+}
+
+// scheduleFrom materializes a Schedule from dense-index order/assignment.
+func (s *Scheduler) scheduleFrom(order, assign []int) *sched.Schedule {
+	return &sched.Schedule{Order: s.idsOf(order), Assignment: s.assignmentMap(assign)}
+}
+
+// windows dispatches to the sequential or parallel window evaluator.
+func (s *Scheduler) windows(L []int) ([]int, float64, []WindowTrace) {
+	if s.opt.Parallel {
+		return s.evaluateWindowsParallel(L)
+	}
+	return s.evaluateWindows(L)
+}
+
+func (s *Scheduler) idsOf(L []int) []int {
+	out := make([]int, len(L))
+	for k, i := range L {
+		out[k] = s.g.IDAt(i)
+	}
+	return out
+}
+
+func (s *Scheduler) assignmentMap(assign []int) map[int]int {
+	out := make(map[int]int, s.n)
+	for i := 0; i < s.n; i++ {
+		out[s.g.IDAt(i)] = assign[i]
+	}
+	return out
+}
+
+func (s *Scheduler) assignmentArray(assignment map[int]int) ([]int, error) {
+	assign := make([]int, s.n)
+	for i := 0; i < s.n; i++ {
+		id := s.g.IDAt(i)
+		j, ok := assignment[id]
+		if !ok {
+			return nil, fmt.Errorf("core: assignment missing task %d", id)
+		}
+		if j < 0 || j >= s.m {
+			return nil, fmt.Errorf("core: task %d assigned out-of-range design point %d", id, j)
+		}
+		assign[i] = j
+	}
+	return assign, nil
+}

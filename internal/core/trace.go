@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WindowTrace records the outcome of one window evaluation within an
+// iteration — one cell of the paper's Table 3.
+type WindowTrace struct {
+	// WindowStart is the 1-based first allowed design-point column, so
+	// the window is "WindowStart:m" in the paper's notation.
+	WindowStart int
+	// Feasible reports whether the backward pass found a
+	// deadline-feasible assignment in this window.
+	Feasible bool
+	// Cost is sigma at completion (mA·min) of the window's schedule
+	// (+Inf when infeasible).
+	Cost float64
+	// Duration is the schedule completion time in minutes.
+	Duration float64
+	// Assignment maps task ID to the chosen 0-based design point.
+	Assignment map[int]int
+}
+
+// IterationTrace records one iteration of the outer loop — one row group of
+// the paper's Tables 2 and 3.
+type IterationTrace struct {
+	// Sequence is the task order (task IDs) this iteration evaluated
+	// windows for (S1, S2, … in the paper).
+	Sequence []int
+	// Windows holds the per-window outcomes, narrowest window first
+	// (the order they are evaluated in).
+	Windows []WindowTrace
+	// BestWindow indexes Windows at the minimum cost (-1 if none
+	// feasible).
+	BestWindow int
+	// WindowCost is the minimum cost over windows (the paper's
+	// MinBCost before resequencing).
+	WindowCost float64
+	// Assignment is the minimum-cost window's assignment.
+	Assignment map[int]int
+	// WeightedSequence is the Equation-4 resequenced order (S1w, …);
+	// nil when resequencing is disabled.
+	WeightedSequence []int
+	// WeightedCost is the cost of the weighted sequence under this
+	// iteration's assignment.
+	WeightedCost float64
+	// IterationCost is min(WindowCost, WeightedCost) — the value the
+	// termination test compares across iterations.
+	IterationCost float64
+}
+
+// Trace is the complete run history attached to a Result when
+// Options.RecordTrace is set.
+type Trace struct {
+	// InitialSequence is the SequenceDecEnergy output the first
+	// iteration starts from.
+	InitialSequence []int
+	// Iterations holds one entry per outer-loop iteration, in order.
+	Iterations []IterationTrace
+}
+
+// String renders the trace in a compact Tables-2/3 flavored text form.
+func (t *Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "initial sequence: %s\n", seqString(t.InitialSequence))
+	for k, it := range t.Iterations {
+		fmt.Fprintf(&b, "iteration %d\n", k+1)
+		fmt.Fprintf(&b, "  S%-3d %s\n", k+1, seqString(it.Sequence))
+		for _, w := range it.Windows {
+			if !w.Feasible {
+				fmt.Fprintf(&b, "    win %d: infeasible\n", w.WindowStart)
+				continue
+			}
+			fmt.Fprintf(&b, "    win %d: sigma=%.1f dur=%.1f\n", w.WindowStart, w.Cost, w.Duration)
+		}
+		if it.WeightedSequence != nil {
+			fmt.Fprintf(&b, "  S%dw %s (sigma=%.1f)\n", k+1, seqString(it.WeightedSequence), it.WeightedCost)
+		}
+		fmt.Fprintf(&b, "  iteration best sigma=%.1f\n", it.IterationCost)
+	}
+	return b.String()
+}
+
+func seqString(ids []int) string {
+	parts := make([]string, len(ids))
+	for k, id := range ids {
+		parts[k] = fmt.Sprintf("T%d", id)
+	}
+	return strings.Join(parts, ",")
+}

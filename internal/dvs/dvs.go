@@ -1,0 +1,202 @@
+// Package dvs generates design-point tables for tasks, following the
+// recipes the paper uses to synthesize its benchmarks: on a
+// voltage/frequency-scalable processor, each design point is a discrete
+// (V, f) operating level; currents scale with the cube of the voltage
+// scaling factor and execution times stretch as the level slows down. For
+// FPGA platforms the package instead produces a set of alternative
+// implementations trading area/parallelism for time.
+//
+// The paper derives its tables from a reference design point and a list of
+// voltage scaling factors. It states durations are "inversely proportional
+// to the scaling factor", but its G3 table actually stretches durations
+// linearly along the reversed factor list; both rules are provided (see
+// TimeRule) and the fixtures tests pin G2 to TimeInverse and G3 to
+// TimeReversedLinear.
+package dvs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/taskgraph"
+)
+
+// TimeRule selects how execution time scales across design points.
+type TimeRule int
+
+const (
+	// TimeInverse stretches time inversely with the voltage scaling
+	// factor: D_j = Dref / s_j (the paper's stated rule; matches its G2
+	// table, where factors are relative to the slowest point).
+	TimeInverse TimeRule = iota
+	// TimeReversedLinear stretches time linearly along the reversed
+	// factor list: D_j = Dref * s_{m+1-j} (the rule that actually
+	// reproduces the paper's G3 table, with factors relative to the
+	// fastest point and Dref the slowest time).
+	TimeReversedLinear
+)
+
+func (r TimeRule) String() string {
+	switch r {
+	case TimeInverse:
+		return "inverse"
+	case TimeReversedLinear:
+		return "reversed-linear"
+	default:
+		return fmt.Sprintf("TimeRule(%d)", int(r))
+	}
+}
+
+// Recipe describes how to expand a reference workload into a design-point
+// table.
+type Recipe struct {
+	// Factors are the voltage scaling factors, one per design point, in
+	// design-point order (DP1 first). For TimeInverse they are relative
+	// to the slowest point (so the last factor is 1, as in the paper's
+	// G2: 2.5, 1.66, 1.25, 1); for TimeReversedLinear they are relative
+	// to the fastest point (first factor 1, as in G3: 1, 0.85, 0.68,
+	// 0.51, 0.33).
+	Factors []float64
+	// Rule selects the duration scaling law.
+	Rule TimeRule
+	// BaseVoltage, if positive, records the reference voltage so the
+	// generated points carry absolute voltages (informational).
+	BaseVoltage float64
+	// Round, if positive, rounds currents and times to that many
+	// decimal places — the paper's tables carry one decimal of time and
+	// integer currents; Round=1 reproduces that flavor of data.
+	Round int
+}
+
+// G2Factors are the paper's scaling factors for the robotic arm case study
+// (relative to the slowest design point DP4). The paper prints the second
+// factor as 1.66, but the Figure 5 currents were generated with 5/3
+// (60·(5/3)³ rounds to the printed 278, while 60·1.66³ rounds to 274).
+var G2Factors = []float64{2.5, 5.0 / 3.0, 1.25, 1}
+
+// G3Factors are the paper's scaling factors for the illustrative example
+// (relative to the fastest design point DP1).
+var G3Factors = []float64{1, 0.85, 0.68, 0.51, 0.33}
+
+// Points expands a reference (current, time) pair into a full design-point
+// table per the recipe.
+//
+// For TimeInverse the reference is the SLOWEST point (current refI at the
+// lowest voltage, time refT at the lowest speed):
+//
+//	I_j = refI * s_j^3,  D_j = refT / s_j
+//
+// For TimeReversedLinear the reference is the FASTEST current and SLOWEST
+// time (matching how the paper presents G3):
+//
+//	I_j = refI * s_j^3,  D_j = refT * s_{m+1-j}
+func (r Recipe) Points(refCurrent, refTime float64) ([]taskgraph.DesignPoint, error) {
+	m := len(r.Factors)
+	if m == 0 {
+		return nil, fmt.Errorf("dvs: recipe has no scaling factors")
+	}
+	if refCurrent < 0 || refTime <= 0 {
+		return nil, fmt.Errorf("dvs: reference point must have non-negative current and positive time (got I=%g, D=%g)", refCurrent, refTime)
+	}
+	for k, s := range r.Factors {
+		if s <= 0 {
+			return nil, fmt.Errorf("dvs: scaling factor %d must be positive, got %g", k+1, s)
+		}
+	}
+	pts := make([]taskgraph.DesignPoint, m)
+	for j := 0; j < m; j++ {
+		s := r.Factors[j]
+		var d float64
+		switch r.Rule {
+		case TimeInverse:
+			d = refTime / s
+		case TimeReversedLinear:
+			d = refTime * r.Factors[m-1-j]
+		default:
+			return nil, fmt.Errorf("dvs: unknown time rule %d", int(r.Rule))
+		}
+		i := refCurrent * s * s * s
+		if r.Round > 0 {
+			pow := math.Pow(10, float64(r.Round))
+			d = math.Round(d*pow) / pow
+			i = math.Round(i)
+		}
+		v := 0.0
+		if r.BaseVoltage > 0 {
+			v = r.BaseVoltage * s
+		}
+		pts[j] = taskgraph.DesignPoint{
+			Current: i,
+			Time:    d,
+			Voltage: v,
+			Name:    fmt.Sprintf("DP%d", j+1),
+		}
+	}
+	return pts, nil
+}
+
+// PointsFunc adapts a recipe plus per-task reference workloads into the
+// generator callback taskgraph's builders expect. refs[i] gives task i's
+// (current, time) reference pair; tasks beyond len(refs) cycle through it.
+func (r Recipe) PointsFunc(refs [][2]float64) (taskgraph.PointsFunc, error) {
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("dvs: no reference workloads")
+	}
+	// Validate eagerly so the callback cannot fail at graph-build time.
+	for k, ref := range refs {
+		if _, err := r.Points(ref[0], ref[1]); err != nil {
+			return nil, fmt.Errorf("dvs: reference %d: %w", k, err)
+		}
+	}
+	return func(i int) []taskgraph.DesignPoint {
+		ref := refs[i%len(refs)]
+		pts, _ := r.Points(ref[0], ref[1])
+		return pts
+	}, nil
+}
+
+// RandomRefs draws n reference workloads with currents uniform in
+// [iLo, iHi] mA and times uniform in [tLo, tHi] minutes — handy for
+// synthetic benchmark generation.
+func RandomRefs(rng *rand.Rand, n int, iLo, iHi, tLo, tHi float64) [][2]float64 {
+	refs := make([][2]float64, n)
+	for k := range refs {
+		refs[k] = [2]float64{
+			iLo + rng.Float64()*(iHi-iLo),
+			tLo + rng.Float64()*(tHi-tLo),
+		}
+	}
+	return refs
+}
+
+// FPGAImplementations models an FPGA task with alternative bitstreams: a
+// baseline implementation plus progressively more parallel variants. Each
+// doubling of parallelism divides time by speedup and multiplies current by
+// powerGrowth (more active logic). With speedup close to powerGrowth the
+// energy stays flat while the time/current trade-off widens, which mirrors
+// the FPGA design-space shape the paper describes.
+func FPGAImplementations(baseCurrent, baseTime float64, variants int, speedup, powerGrowth float64) ([]taskgraph.DesignPoint, error) {
+	if variants < 1 {
+		return nil, fmt.Errorf("dvs: need at least one FPGA variant, got %d", variants)
+	}
+	if speedup <= 1 || powerGrowth <= 1 {
+		return nil, fmt.Errorf("dvs: speedup and powerGrowth must exceed 1 (got %g, %g)", speedup, powerGrowth)
+	}
+	if baseCurrent < 0 || baseTime <= 0 {
+		return nil, fmt.Errorf("dvs: base point must have non-negative current and positive time (got I=%g, D=%g)", baseCurrent, baseTime)
+	}
+	pts := make([]taskgraph.DesignPoint, variants)
+	for v := 0; v < variants; v++ {
+		// v=variants-1 is the sequential baseline (slowest, lowest
+		// current); v=0 the most parallel (fastest, highest current),
+		// matching the fastest-first convention.
+		k := float64(variants - 1 - v)
+		pts[v] = taskgraph.DesignPoint{
+			Current: baseCurrent * math.Pow(powerGrowth, k),
+			Time:    baseTime / math.Pow(speedup, k),
+			Name:    fmt.Sprintf("bs%dx", 1<<uint(k)),
+		}
+	}
+	return pts, nil
+}

@@ -1,0 +1,193 @@
+package dvs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/taskgraph"
+)
+
+// TestG3RecipeReproducesFixture regenerates every Table 1 row from its
+// reference values (fastest current, slowest time) and compares with the
+// G3 fixture to the table's rounding.
+func TestG3RecipeReproducesFixture(t *testing.T) {
+	g := taskgraph.G3()
+	r := Recipe{Factors: G3Factors, Rule: TimeReversedLinear, Round: 1}
+	for _, id := range g.TaskIDs() {
+		want := g.Task(id).Points
+		got, err := r.Points(want[0].Current, want[4].Time)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if math.Abs(got[j].Current-want[j].Current) > 1 {
+				t.Errorf("T%d DP%d current %g, fixture %g", id, j+1, got[j].Current, want[j].Current)
+			}
+			if math.Abs(got[j].Time-want[j].Time) > 0.1001 {
+				t.Errorf("T%d DP%d time %g, fixture %g", id, j+1, got[j].Time, want[j].Time)
+			}
+		}
+	}
+}
+
+// TestG2RecipeReproducesFixture does the same for the robotic arm data
+// (Figure 5), using the slowest point as the reference.
+func TestG2RecipeReproducesFixture(t *testing.T) {
+	g := taskgraph.G2()
+	r := Recipe{Factors: G2Factors, Rule: TimeInverse, Round: 1}
+	for _, id := range g.TaskIDs() {
+		want := g.Task(id).Points
+		got, err := r.Points(want[3].Current, want[3].Time)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if math.Abs(got[j].Current-want[j].Current) > 1 {
+				t.Errorf("N%d DP%d current %g, fixture %g", id, j+1, got[j].Current, want[j].Current)
+			}
+			if math.Abs(got[j].Time-want[j].Time) > 0.1001 {
+				t.Errorf("N%d DP%d time %g, fixture %g", id, j+1, got[j].Time, want[j].Time)
+			}
+		}
+	}
+}
+
+func TestRecipeValidation(t *testing.T) {
+	if _, err := (Recipe{}).Points(100, 1); err == nil {
+		t.Fatal("empty factors should error")
+	}
+	if _, err := (Recipe{Factors: []float64{1, -1}}).Points(100, 1); err == nil {
+		t.Fatal("negative factor should error")
+	}
+	if _, err := (Recipe{Factors: []float64{1}}).Points(-1, 1); err == nil {
+		t.Fatal("negative reference current should error")
+	}
+	if _, err := (Recipe{Factors: []float64{1}}).Points(1, 0); err == nil {
+		t.Fatal("zero reference time should error")
+	}
+	if _, err := (Recipe{Factors: []float64{1}, Rule: TimeRule(99)}).Points(1, 1); err == nil {
+		t.Fatal("unknown rule should error")
+	}
+}
+
+func TestRecipeProducesBuildablePoints(t *testing.T) {
+	// Points must satisfy the Graph invariant: times ascending, currents
+	// non-increasing.
+	for _, r := range []Recipe{
+		{Factors: G2Factors, Rule: TimeInverse},
+		{Factors: G3Factors, Rule: TimeReversedLinear},
+	} {
+		pts, err := r.Points(500, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 1; j < len(pts); j++ {
+			if pts[j].Time <= pts[j-1].Time {
+				t.Fatalf("%v: times not ascending: %v", r.Rule, pts)
+			}
+			if pts[j].Current > pts[j-1].Current {
+				t.Fatalf("%v: currents not non-increasing: %v", r.Rule, pts)
+			}
+		}
+	}
+}
+
+func TestRecipeVoltageAnnotation(t *testing.T) {
+	r := Recipe{Factors: []float64{2, 1}, Rule: TimeInverse, BaseVoltage: 1.0}
+	pts, err := r.Points(100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Voltage != 2.0 || pts[1].Voltage != 1.0 {
+		t.Fatalf("voltages = %v", pts)
+	}
+}
+
+func TestPointsFunc(t *testing.T) {
+	r := Recipe{Factors: G2Factors, Rule: TimeInverse}
+	refs := [][2]float64{{100, 10}, {50, 5}}
+	fn, err := r.PointsFunc(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := fn(0)
+	p2 := fn(2) // cycles back to refs[0]
+	if len(p0) != 4 || p0[3].Current != 100 || p0[3].Time != 10 {
+		t.Fatalf("fn(0) = %v", p0)
+	}
+	if p2[3].Current != p0[3].Current {
+		t.Fatal("PointsFunc should cycle through refs")
+	}
+	if _, err := r.PointsFunc(nil); err == nil {
+		t.Fatal("empty refs should error")
+	}
+	if _, err := r.PointsFunc([][2]float64{{-1, 1}}); err == nil {
+		t.Fatal("invalid ref should error eagerly")
+	}
+	// The func must feed straight into a graph generator.
+	g, err := taskgraph.Chain(4, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := g.UniformPointCount(); !ok || m != 4 {
+		t.Fatalf("generated graph point count = %d,%v", m, ok)
+	}
+}
+
+func TestRandomRefs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	refs := RandomRefs(rng, 20, 10, 900, 1, 30)
+	if len(refs) != 20 {
+		t.Fatalf("got %d refs", len(refs))
+	}
+	for _, ref := range refs {
+		if ref[0] < 10 || ref[0] > 900 || ref[1] < 1 || ref[1] > 30 {
+			t.Fatalf("ref out of range: %v", ref)
+		}
+	}
+}
+
+func TestFPGAImplementations(t *testing.T) {
+	pts, err := FPGAImplementations(50, 16, 4, 2.0, 1.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("got %d variants", len(pts))
+	}
+	// Fastest first, slowest (baseline) last.
+	if pts[3].Current != 50 || pts[3].Time != 16 {
+		t.Fatalf("baseline variant = %v", pts[3])
+	}
+	if math.Abs(pts[0].Time-2) > 1e-12 { // 16 / 2^3
+		t.Fatalf("fastest time = %g", pts[0].Time)
+	}
+	for j := 1; j < len(pts); j++ {
+		if pts[j].Time <= pts[j-1].Time || pts[j].Current > pts[j-1].Current {
+			t.Fatalf("FPGA points not monotone: %v", pts)
+		}
+	}
+	// Energy roughly flat when powerGrowth < speedup: parallel variants
+	// must not cost more energy than baseline here.
+	base := pts[3].Energy()
+	if pts[0].Energy() > base {
+		t.Fatalf("parallel variant energy %g exceeds baseline %g with powerGrowth<speedup", pts[0].Energy(), base)
+	}
+	for _, f := range []func() ([]taskgraph.DesignPoint, error){
+		func() ([]taskgraph.DesignPoint, error) { return FPGAImplementations(50, 16, 0, 2, 1.8) },
+		func() ([]taskgraph.DesignPoint, error) { return FPGAImplementations(50, 16, 3, 1, 1.8) },
+		func() ([]taskgraph.DesignPoint, error) { return FPGAImplementations(50, 16, 3, 2, 0.5) },
+		func() ([]taskgraph.DesignPoint, error) { return FPGAImplementations(50, -1, 3, 2, 1.8) },
+	} {
+		if _, err := f(); err == nil {
+			t.Error("want parameter error")
+		}
+	}
+}
+
+func TestTimeRuleString(t *testing.T) {
+	if TimeInverse.String() == "" || TimeReversedLinear.String() == "" || TimeRule(42).String() == "" {
+		t.Fatal("TimeRule strings must be non-empty")
+	}
+}

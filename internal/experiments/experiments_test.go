@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/taskgraph"
+)
+
+func TestTable1(t *testing.T) {
+	tab := Table1()
+	if len(tab.Rows) != 15 {
+		t.Fatalf("Table 1 has %d rows, want 15", len(tab.Rows))
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"917", "7.3", "T11,T12,T13"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("Table 1 missing %q", want)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	r, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Trace.Iterations) < 2 {
+		t.Fatalf("expected at least 2 iterations, got %d", len(r.Trace.Iterations))
+	}
+	var buf bytes.Buffer
+	if err := r.Table.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// S1 row must carry the paper-exact sequence.
+	if !strings.Contains(buf.String(), "T1,T4,T5,T7,T3,T2,T6,T8,T10,T9,T13,T12,T11,T14,T15") {
+		t.Fatal("Table 2 missing the exact S1")
+	}
+}
+
+func TestTable3Anchors(t *testing.T) {
+	tab, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The window-4:5 anchor and its paper annotation must both appear.
+	if !strings.Contains(out, "16353 (16353)") {
+		t.Fatalf("Table 3 lost the win-4:5 anchor:\n%s", out)
+	}
+}
+
+func TestTable4ShapeAndAnchors(t *testing.T) {
+	rows, tab, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("Table 4 has %d rows, want 6", len(rows))
+	}
+	for _, r := range rows {
+		// The headline claim: ours within 2% of baseline or better,
+		// everywhere (the one negative cell is G2@75 at -1.0%).
+		if r.Baseline < r.Ours*0.97 {
+			t.Errorf("%s@%g: baseline %0.f more than 3%% below ours %0.f", r.Graph, r.Deadline, r.Baseline, r.Ours)
+		}
+		if r.OursDur > r.Deadline+1e-6 || r.BaseDur > r.Deadline+1e-6 {
+			t.Errorf("%s@%g: deadline violated", r.Graph, r.Deadline)
+		}
+	}
+	// Bit-exact G3 anchors.
+	anchors := map[float64][2]float64{100: {57429, 68120}, 150: {41801, 48650}, 230: {math.NaN(), 22686}}
+	for _, r := range rows {
+		if r.Graph != "G3" {
+			continue
+		}
+		want := anchors[r.Deadline]
+		if !math.IsNaN(want[0]) && math.Abs(r.Ours-want[0]) > 1 {
+			t.Errorf("G3@%g ours = %.1f, want %.0f", r.Deadline, r.Ours, want[0])
+		}
+		if math.Abs(r.Baseline-want[1]) > 1 {
+			t.Errorf("G3@%g baseline = %.1f, want %.0f", r.Deadline, r.Baseline, want[1])
+		}
+	}
+	// G2@55 exact anchor.
+	for _, r := range rows {
+		if r.Graph == "G2" && r.Deadline == 55 && math.Abs(r.Ours-30913) > 1 {
+			t.Errorf("G2@55 ours = %.1f, want 30913", r.Ours)
+		}
+	}
+	if tab == nil || len(tab.Rows) != 6 {
+		t.Fatal("rendered table malformed")
+	}
+}
+
+func TestExtendedComparison(t *testing.T) {
+	tab, err := ExtendedComparison("G2", taskgraph.G2(), 75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 5 {
+		t.Fatalf("extended comparison has %d rows", len(tab.Rows))
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"iterative", "DP+Eq5", "annealing"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("extended comparison missing %q", want)
+		}
+	}
+}
+
+func TestFigures(t *testing.T) {
+	f3 := Figure3(5, 4)
+	if len(f3.Rows) != 3 {
+		t.Fatalf("Figure 3 rows = %d", len(f3.Rows))
+	}
+	f4 := Figure4()
+	if len(f4.Rows) != 4 {
+		t.Fatalf("Figure 4 rows = %d", len(f4.Rows))
+	}
+	f5, dot := Figure5()
+	if len(f5.Rows) != 9 {
+		t.Fatalf("Figure 5 rows = %d", len(f5.Rows))
+	}
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "t1 -> t2") {
+		t.Fatalf("Figure 5 DOT malformed:\n%s", dot)
+	}
+}
+
+func TestAblation(t *testing.T) {
+	rows, tab, err := Ablation(taskgraph.G3(), taskgraph.G3Deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("ablation rows = %d", len(rows))
+	}
+	if rows[0].Name != "full algorithm (paper)" {
+		t.Fatalf("first row = %q", rows[0].Name)
+	}
+	// The full algorithm should be at or near the best of all configs
+	// (ablations remove information; small wins are possible but the
+	// paper's claim is that the full set is near-best).
+	full := rows[0].Cost
+	for _, r := range rows[1:] {
+		if r.Cost < full*0.95 {
+			t.Errorf("config %q beats the full algorithm by >5%% (%.0f vs %.0f)", r.Name, r.Cost, full)
+		}
+	}
+	if tab == nil {
+		t.Fatal("no table")
+	}
+}
+
+func TestBatteryProperties(t *testing.T) {
+	tab := BatteryProperties()
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"lifetime @100", "recovery", "decreasing-current"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("battery properties missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestDeadlineSweep(t *testing.T) {
+	g := taskgraph.G2()
+	tab, err := DeadlineSweep(g, g.MinTotalTime()*1.05, g.MaxTotalTime(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("sweep rows = %d", len(tab.Rows))
+	}
+	if _, err := DeadlineSweep(g, 50, 100, 1); err == nil {
+		t.Fatal("steps < 2 should error")
+	}
+}
+
+func TestIdleExtension(t *testing.T) {
+	g := taskgraph.G3()
+	// Past the all-slowest completion time the leftover slack can only
+	// be spent as rest, and it must help.
+	tab, err := IdleExtension(g, []float64{g.MaxTotalTime() * 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0][4] == "0.0%" {
+		t.Fatalf("expected positive saving at a loose deadline: %v", tab.Rows[0])
+	}
+}
+
+func TestModelComparison(t *testing.T) {
+	tab, err := ModelComparison(taskgraph.G3(), taskgraph.G3Deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 || len(tab.Headers) != 5 {
+		t.Fatalf("table shape = %dx%d", len(tab.Rows), len(tab.Headers))
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rakhmatov", "ideal", "peukert", "kibam"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("model comparison missing %q", want)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) < 8 {
+		t.Fatalf("names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dvs"
+	"repro/internal/report"
+	"repro/internal/taskgraph"
+)
+
+// The paper's Section 1 notes "We tested the algorithm using different
+// task-graphs and design-points"; only G2 and G3 appear in print. This
+// file generalizes Table 4 into a synthetic benchmark suite over random
+// instances of the shapes the scheduling literature uses, reporting
+// aggregate win rates and gap statistics rather than single cells.
+
+// SyntheticConfig parameterizes the suite.
+type SyntheticConfig struct {
+	// Seed makes the whole suite reproducible.
+	Seed int64
+	// Instances is the number of random graphs per shape (default 10).
+	Instances int
+	// Tasks is the approximate task count per graph (default 15).
+	Tasks int
+	// Points is the design-point count per task (default 5).
+	Points int
+	// SlackLevels are the deadline positions within
+	// [MinTime, MaxTime]: deadline = MinTime + s·(MaxTime−MinTime)
+	// (default 0.25, 0.5, 0.9).
+	SlackLevels []float64
+}
+
+func (c SyntheticConfig) withDefaults() SyntheticConfig {
+	if c.Instances == 0 {
+		c.Instances = 10
+	}
+	if c.Tasks == 0 {
+		c.Tasks = 15
+	}
+	if c.Points == 0 {
+		c.Points = 5
+	}
+	if len(c.SlackLevels) == 0 {
+		c.SlackLevels = []float64{0.25, 0.5, 0.9}
+	}
+	return c
+}
+
+// SyntheticCell aggregates one (shape, slack) cell of the suite.
+type SyntheticCell struct {
+	Shape     string
+	Slack     float64
+	Instances int
+	// WinsVsRV counts instances where ours <= the [1] baseline.
+	WinsVsRV int
+	// MeanGapRV is the mean of (baseline-ours)/ours in percent
+	// (positive = we win on average).
+	MeanGapRV float64
+	// MaxGapRV / MinGapRV bound the per-instance gaps (percent).
+	MaxGapRV, MinGapRV float64
+	// MeanGapChowdhury is the mean gap versus the [7]-style heuristic.
+	MeanGapChowdhury float64
+}
+
+// SyntheticSuite runs the suite and returns per-cell aggregates plus a
+// rendered table.
+func SyntheticSuite(cfg SyntheticConfig) ([]SyntheticCell, *report.Table, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := model()
+
+	factors := make([]float64, cfg.Points)
+	for j := 0; j < cfg.Points; j++ {
+		if cfg.Points == 1 {
+			factors[j] = 1
+		} else {
+			factors[j] = 1 - float64(j)/float64(cfg.Points-1)*(1-0.33)
+		}
+	}
+	recipe := dvs.Recipe{Factors: factors, Rule: dvs.TimeReversedLinear, Round: 1}
+
+	shapes := []struct {
+		name string
+		gen  func(points taskgraph.PointsFunc) (*taskgraph.Graph, error)
+	}{
+		{"chain", func(p taskgraph.PointsFunc) (*taskgraph.Graph, error) {
+			return taskgraph.Chain(cfg.Tasks, p)
+		}},
+		{"fork-join", func(p taskgraph.PointsFunc) (*taskgraph.Graph, error) {
+			width := 4
+			tail := cfg.Tasks / 3
+			depth := (cfg.Tasks - 1 - tail) / width
+			if depth < 1 {
+				depth = 1
+			}
+			return taskgraph.ForkJoin(width, depth, tail, p)
+		}},
+		{"layered", func(p taskgraph.PointsFunc) (*taskgraph.Graph, error) {
+			width := 3
+			layers := cfg.Tasks / width
+			if layers < 2 {
+				layers = 2
+			}
+			return taskgraph.Layered(rng, layers, width, 0.4, p)
+		}},
+		{"series-parallel", func(p taskgraph.PointsFunc) (*taskgraph.Graph, error) {
+			return taskgraph.SeriesParallel(rng, cfg.Tasks, p)
+		}},
+		{"random", func(p taskgraph.PointsFunc) (*taskgraph.Graph, error) {
+			return taskgraph.Random(rng, cfg.Tasks, 0.25, p)
+		}},
+	}
+
+	var cells []SyntheticCell
+	for _, shape := range shapes {
+		for _, slack := range cfg.SlackLevels {
+			cell := SyntheticCell{Shape: shape.name, Slack: slack, MinGapRV: math.Inf(1), MaxGapRV: math.Inf(-1)}
+			var sumRV, sumCh float64
+			for inst := 0; inst < cfg.Instances; inst++ {
+				refs := dvs.RandomRefs(rng, cfg.Tasks+8, 200, 950, 2, 10)
+				points, err := recipe.PointsFunc(refs)
+				if err != nil {
+					return nil, nil, err
+				}
+				g, err := shape.gen(points)
+				if err != nil {
+					return nil, nil, fmt.Errorf("synthetic %s: %w", shape.name, err)
+				}
+				deadline := g.MinTotalTime() + slack*(g.MaxTotalTime()-g.MinTotalTime())
+				deadline = math.Round(deadline*10) / 10
+				if deadline < g.MinTotalTime() {
+					deadline = math.Ceil(g.MinTotalTime()*10) / 10
+				}
+				s, err := core.New(g, deadline, core.Options{})
+				if err != nil {
+					return nil, nil, err
+				}
+				res, err := s.Run()
+				if err != nil {
+					return nil, nil, fmt.Errorf("synthetic %s slack %.2f: %w", shape.name, slack, err)
+				}
+				rv, err := baseline.RakhmatovSchedule(g, deadline)
+				if err != nil {
+					return nil, nil, err
+				}
+				ch, err := baseline.ChowdhurySchedule(g, deadline, nil)
+				if err != nil {
+					return nil, nil, err
+				}
+				rvCost := rv.Cost(g, m)
+				chCost := ch.Cost(g, m)
+				gap := (rvCost - res.Cost) / res.Cost * 100
+				sumRV += gap
+				sumCh += (chCost - res.Cost) / res.Cost * 100
+				if res.Cost <= rvCost+1e-9 {
+					cell.WinsVsRV++
+				}
+				if gap > cell.MaxGapRV {
+					cell.MaxGapRV = gap
+				}
+				if gap < cell.MinGapRV {
+					cell.MinGapRV = gap
+				}
+				cell.Instances++
+			}
+			cell.MeanGapRV = sumRV / float64(cell.Instances)
+			cell.MeanGapChowdhury = sumCh / float64(cell.Instances)
+			cells = append(cells, cell)
+		}
+	}
+
+	t := &report.Table{
+		Title: fmt.Sprintf("Synthetic suite: %d instances per cell, ~%d tasks x %d points (seed %d)",
+			cfg.Instances, cfg.Tasks, cfg.Points, cfg.Seed),
+		Headers: []string{"Shape", "Slack", "Win vs [1]", "Mean gap [1]", "Gap range [1]", "Mean gap [7]"},
+	}
+	for _, c := range cells {
+		t.AddRow(c.Shape, report.Pct(c.Slack*100)+"%",
+			fmt.Sprintf("%d/%d", c.WinsVsRV, c.Instances),
+			report.Pct(c.MeanGapRV)+"%",
+			fmt.Sprintf("%s%% … %s%%", report.Pct(c.MinGapRV), report.Pct(c.MaxGapRV)),
+			report.Pct(c.MeanGapChowdhury)+"%")
+	}
+	t.Notes = append(t.Notes, "gap = (other − ours)/ours; positive means the iterative algorithm wins")
+	return cells, t, nil
+}

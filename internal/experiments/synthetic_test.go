@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestSyntheticSuiteSmall(t *testing.T) {
+	cells, tab, err := SyntheticSuite(SyntheticConfig{
+		Seed:        7,
+		Instances:   2,
+		Tasks:       10,
+		Points:      3,
+		SlackLevels: []float64{0.3, 0.8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 shapes x 2 slack levels.
+	if len(cells) != 10 {
+		t.Fatalf("cells = %d, want 10", len(cells))
+	}
+	for _, c := range cells {
+		if c.Instances != 2 {
+			t.Fatalf("cell %s/%.1f ran %d instances", c.Shape, c.Slack, c.Instances)
+		}
+		if c.WinsVsRV < 0 || c.WinsVsRV > c.Instances {
+			t.Fatalf("cell %s/%.1f wins = %d", c.Shape, c.Slack, c.WinsVsRV)
+		}
+		if c.MinGapRV > c.MeanGapRV || c.MeanGapRV > c.MaxGapRV {
+			t.Fatalf("cell %s/%.1f gap stats inconsistent: %+v", c.Shape, c.Slack, c)
+		}
+	}
+	if len(tab.Rows) != 10 {
+		t.Fatalf("table rows = %d", len(tab.Rows))
+	}
+}
+
+func TestSyntheticSuiteDeterministic(t *testing.T) {
+	cfg := SyntheticConfig{Seed: 3, Instances: 2, Tasks: 8, Points: 3, SlackLevels: []float64{0.5}}
+	a, _, err := SyntheticSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := SyntheticSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("cell %d differs across identical runs:\n%+v\n%+v", k, a[k], b[k])
+		}
+	}
+}
+
+// TestSyntheticTightSlackWins checks the suite-level version of the
+// paper's claim on its home turf: at tight slack the iterative algorithm
+// wins the large majority of instances against the min-energy baseline.
+func TestSyntheticTightSlackWins(t *testing.T) {
+	cells, _, err := SyntheticSuite(SyntheticConfig{
+		Seed: 1, Instances: 6, Tasks: 14, Points: 5, SlackLevels: []float64{0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins, total := 0, 0
+	for _, c := range cells {
+		wins += c.WinsVsRV
+		total += c.Instances
+	}
+	if float64(wins) < 0.7*float64(total) {
+		t.Fatalf("tight-slack win rate %d/%d below 70%%", wins, total)
+	}
+}

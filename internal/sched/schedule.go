@@ -1,0 +1,173 @@
+// Package sched defines the schedule produced by the battery-aware
+// algorithms: a sequential execution order for the task graph plus a design
+// point chosen for every task. It provides legality checks (precedence,
+// deadline, assignment bounds), conversion to a battery discharge profile,
+// and the summary statistics the paper reports (duration, energy, CIF,
+// slack ratio).
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/battery"
+	"repro/internal/taskgraph"
+)
+
+// Schedule is a sequential schedule: tasks run back to back in Order, each
+// using the design point Assignment[taskID] (0-based index into the task's
+// Points, so 0 is the fastest/highest-current point).
+type Schedule struct {
+	// Order lists task IDs in execution order; it must be a topological
+	// order of the graph.
+	Order []int
+	// Assignment maps task ID to the 0-based design point index.
+	Assignment map[int]int
+}
+
+// Clone returns a deep copy.
+func (s *Schedule) Clone() *Schedule {
+	out := &Schedule{
+		Order:      append([]int(nil), s.Order...),
+		Assignment: make(map[int]int, len(s.Assignment)),
+	}
+	for k, v := range s.Assignment {
+		out.Assignment[k] = v
+	}
+	return out
+}
+
+// Validate checks the schedule against the graph: the order must be a
+// topological order covering every task exactly once, and every task must
+// be assigned an in-range design point.
+func (s *Schedule) Validate(g *taskgraph.Graph) error {
+	if !g.IsTopoOrder(s.Order) {
+		return fmt.Errorf("sched: order is not a topological order of the graph")
+	}
+	for _, id := range s.Order {
+		j, ok := s.Assignment[id]
+		if !ok {
+			return fmt.Errorf("sched: task %d has no design point assigned", id)
+		}
+		if j < 0 || j >= len(g.Task(id).Points) {
+			return fmt.Errorf("sched: task %d assigned out-of-range design point %d", id, j)
+		}
+	}
+	return nil
+}
+
+// ValidateDeadline runs Validate and additionally checks the completion
+// time against the deadline (with a tiny tolerance for float accumulation).
+func (s *Schedule) ValidateDeadline(g *taskgraph.Graph, deadline float64) error {
+	if err := s.Validate(g); err != nil {
+		return err
+	}
+	d := s.Duration(g)
+	const eps = 1e-9
+	if d > deadline*(1+eps)+eps {
+		return fmt.Errorf("sched: duration %.6g exceeds deadline %.6g", d, deadline)
+	}
+	return nil
+}
+
+// point returns the assigned design point of task id.
+func (s *Schedule) point(g *taskgraph.Graph, id int) taskgraph.DesignPoint {
+	return g.Task(id).Points[s.Assignment[id]]
+}
+
+// Duration returns the completion time: the sum of assigned execution
+// times (tasks execute sequentially on one processing element).
+func (s *Schedule) Duration(g *taskgraph.Graph) float64 {
+	var t float64
+	for _, id := range s.Order {
+		t += s.point(g, id).Time
+	}
+	return t
+}
+
+// Energy returns the total charge-energy of the schedule: the sum of
+// I·t over assigned design points (mA·min). This is the quantity baseline
+// [1]'s dynamic program minimizes.
+func (s *Schedule) Energy(g *taskgraph.Graph) float64 {
+	var e float64
+	for _, id := range s.Order {
+		e += s.point(g, id).Energy()
+	}
+	return e
+}
+
+// Profile converts the schedule into the battery discharge profile the
+// cost function evaluates: one constant-current interval per task, in
+// execution order.
+func (s *Schedule) Profile(g *taskgraph.Graph) battery.Profile {
+	p := make(battery.Profile, 0, len(s.Order))
+	for _, id := range s.Order {
+		pt := s.point(g, id)
+		p = append(p, battery.Interval{Current: pt.Current, Duration: pt.Time})
+	}
+	return p
+}
+
+// Cost evaluates the schedule's battery cost: sigma at the completion time
+// under the given model (the paper's CalculateBatteryCost).
+func (s *Schedule) Cost(g *taskgraph.Graph, m battery.Model) float64 {
+	p := s.Profile(g)
+	return m.ChargeLost(p, p.TotalTime())
+}
+
+// CIF returns the schedule's Current Increase Fraction (see
+// battery.Profile.CIF).
+func (s *Schedule) CIF(g *taskgraph.Graph) float64 { return s.Profile(g).CIF() }
+
+// SlackRatio returns (deadline − duration)/deadline, the paper's SR for the
+// whole schedule. Negative values mean the deadline is violated.
+func (s *Schedule) SlackRatio(g *taskgraph.Graph, deadline float64) float64 {
+	if deadline == 0 {
+		return 0
+	}
+	return (deadline - s.Duration(g)) / deadline
+}
+
+// String renders the schedule compactly: "T1@DP5 T4@DP5 …".
+func (s *Schedule) String() string {
+	var b strings.Builder
+	for k, id := range s.Order {
+		if k > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "T%d@DP%d", id, s.Assignment[id]+1)
+	}
+	return b.String()
+}
+
+// Stats bundles the summary numbers reports print for a schedule.
+type Stats struct {
+	Duration  float64 // completion time, min
+	Energy    float64 // delivered charge, mA·min
+	Cost      float64 // sigma at completion under the model, mA·min
+	CIF       float64 // current increase fraction
+	Slack     float64 // deadline − duration, min
+	PeakI     float64 // peak current, mA
+	MeanI     float64 // time-weighted mean current, mA
+	Feasible  bool    // duration <= deadline
+	Deadline  float64
+	ModelName string
+}
+
+// Summarize computes Stats for the schedule under the model and deadline.
+func (s *Schedule) Summarize(g *taskgraph.Graph, m battery.Model, deadline float64) Stats {
+	p := s.Profile(g)
+	dur := p.TotalTime()
+	return Stats{
+		Duration:  dur,
+		Energy:    p.DeliveredCharge(dur),
+		Cost:      m.ChargeLost(p, dur),
+		CIF:       p.CIF(),
+		Slack:     deadline - dur,
+		PeakI:     p.PeakCurrent(),
+		MeanI:     p.MeanCurrent(),
+		Feasible:  dur <= deadline+1e-9,
+		Deadline:  deadline,
+		ModelName: m.Name(),
+	}
+}

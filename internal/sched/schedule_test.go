@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/battery"
+	"repro/internal/taskgraph"
+)
+
+func chain(t *testing.T) *taskgraph.Graph {
+	t.Helper()
+	var b taskgraph.Builder
+	b.AddTask(1, "", taskgraph.DesignPoint{Current: 100, Time: 1}, taskgraph.DesignPoint{Current: 10, Time: 3})
+	b.AddTask(2, "", taskgraph.DesignPoint{Current: 200, Time: 2}, taskgraph.DesignPoint{Current: 20, Time: 5})
+	b.AddEdge(1, 2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestScheduleValidate(t *testing.T) {
+	g := chain(t)
+	good := &Schedule{Order: []int{1, 2}, Assignment: map[int]int{1: 0, 2: 1}}
+	if err := good.Validate(g); err != nil {
+		t.Fatalf("good schedule rejected: %v", err)
+	}
+	bad := []*Schedule{
+		{Order: []int{2, 1}, Assignment: map[int]int{1: 0, 2: 0}},  // precedence
+		{Order: []int{1}, Assignment: map[int]int{1: 0}},           // incomplete
+		{Order: []int{1, 2}, Assignment: map[int]int{1: 0}},        // missing assignment
+		{Order: []int{1, 2}, Assignment: map[int]int{1: 0, 2: 5}},  // out of range
+		{Order: []int{1, 2}, Assignment: map[int]int{1: -1, 2: 0}}, // negative
+		{Order: []int{1, 1}, Assignment: map[int]int{1: 0, 2: 0}},  // duplicate
+	}
+	for k, s := range bad {
+		if err := s.Validate(g); err == nil {
+			t.Errorf("bad schedule %d accepted", k)
+		}
+	}
+}
+
+func TestScheduleDurationEnergy(t *testing.T) {
+	g := chain(t)
+	s := &Schedule{Order: []int{1, 2}, Assignment: map[int]int{1: 0, 2: 1}}
+	if got := s.Duration(g); got != 6 {
+		t.Fatalf("Duration = %g", got)
+	}
+	if got := s.Energy(g); got != 100+100 {
+		t.Fatalf("Energy = %g", got)
+	}
+}
+
+func TestScheduleValidateDeadline(t *testing.T) {
+	g := chain(t)
+	s := &Schedule{Order: []int{1, 2}, Assignment: map[int]int{1: 0, 2: 1}}
+	if err := s.ValidateDeadline(g, 6); err != nil {
+		t.Fatalf("deadline 6 should pass: %v", err)
+	}
+	if err := s.ValidateDeadline(g, 5.9); err == nil {
+		t.Fatal("deadline 5.9 should fail")
+	}
+}
+
+func TestScheduleProfileOrderMatters(t *testing.T) {
+	g := chain(t)
+	s := &Schedule{Order: []int{1, 2}, Assignment: map[int]int{1: 0, 2: 0}}
+	p := s.Profile(g)
+	if len(p) != 2 || p[0].Current != 100 || p[1].Current != 200 {
+		t.Fatalf("Profile = %v", p)
+	}
+	if p[0].Duration != 1 || p[1].Duration != 2 {
+		t.Fatalf("Profile durations = %v", p)
+	}
+}
+
+func TestScheduleCostMatchesModel(t *testing.T) {
+	g := chain(t)
+	s := &Schedule{Order: []int{1, 2}, Assignment: map[int]int{1: 0, 2: 0}}
+	m := battery.NewRakhmatov(0.273)
+	p := s.Profile(g)
+	want := m.ChargeLost(p, p.TotalTime())
+	if got := s.Cost(g, m); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Cost = %g, want %g", got, want)
+	}
+	// Ideal cost equals energy.
+	if got := s.Cost(g, battery.Ideal{}); math.Abs(got-s.Energy(g)) > 1e-12 {
+		t.Fatalf("ideal cost %g != energy %g", got, s.Energy(g))
+	}
+}
+
+func TestScheduleCIFAndSlack(t *testing.T) {
+	g := chain(t)
+	inc := &Schedule{Order: []int{1, 2}, Assignment: map[int]int{1: 0, 2: 0}} // 100 then 200
+	if got := inc.CIF(g); got != 1 {
+		t.Fatalf("CIF = %g", got)
+	}
+	dec := &Schedule{Order: []int{1, 2}, Assignment: map[int]int{1: 0, 2: 1}} // 100 then 20
+	if got := dec.CIF(g); got != 0 {
+		t.Fatalf("CIF = %g", got)
+	}
+	if got := dec.SlackRatio(g, 12); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("SlackRatio = %g", got)
+	}
+}
+
+func TestScheduleClone(t *testing.T) {
+	s := &Schedule{Order: []int{1, 2}, Assignment: map[int]int{1: 0, 2: 1}}
+	c := s.Clone()
+	c.Order[0] = 99
+	c.Assignment[1] = 99
+	if s.Order[0] != 1 || s.Assignment[1] != 0 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	s := &Schedule{Order: []int{2, 1}, Assignment: map[int]int{1: 0, 2: 4}}
+	got := s.String()
+	if !strings.Contains(got, "T2@DP5") || !strings.Contains(got, "T1@DP1") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := chain(t)
+	s := &Schedule{Order: []int{1, 2}, Assignment: map[int]int{1: 0, 2: 0}}
+	m := battery.NewRakhmatov(0.273)
+	st := s.Summarize(g, m, 10)
+	if st.Duration != 3 || !st.Feasible {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Energy != 500 {
+		t.Fatalf("stats energy = %g", st.Energy)
+	}
+	if st.Cost < st.Energy {
+		t.Fatalf("sigma %g below delivered %g", st.Cost, st.Energy)
+	}
+	if st.PeakI != 200 || math.Abs(st.MeanI-500.0/3) > 1e-9 {
+		t.Fatalf("peak/mean = %g/%g", st.PeakI, st.MeanI)
+	}
+	if st.Slack != 7 {
+		t.Fatalf("slack = %g", st.Slack)
+	}
+	tight := s.Summarize(g, m, 2)
+	if tight.Feasible {
+		t.Fatal("deadline 2 should be infeasible")
+	}
+}

@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/taskgraph"
+)
+
+// WriteTimeline renders the schedule as a text Gantt chart with a current
+// profile sparkline, width columns wide. Each task occupies a horizontal
+// span proportional to its execution time; the bottom rows bin the
+// platform current into a coarse vertical bar chart so the discharge
+// shape (ideally non-increasing) is visible at a glance.
+func (s *Schedule) WriteTimeline(w io.Writer, g *taskgraph.Graph, width int) error {
+	if err := s.Validate(g); err != nil {
+		return err
+	}
+	if width < 20 {
+		width = 72
+	}
+	total := s.Duration(g)
+	if total <= 0 {
+		return fmt.Errorf("sched: empty schedule")
+	}
+	col := func(t float64) int {
+		c := int(t / total * float64(width))
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	var b strings.Builder
+	// Task band: one row of labeled spans. Short spans degrade to '|'.
+	band := make([]byte, width)
+	for i := range band {
+		band[i] = ' '
+	}
+	var t float64
+	type span struct {
+		from, to int
+		label    string
+	}
+	var spans []span
+	for _, id := range s.Order {
+		pt := g.Task(id).Points[s.Assignment[id]]
+		from := col(t)
+		t += pt.Time
+		to := col(t)
+		spans = append(spans, span{from, to, fmt.Sprintf("T%d", id)})
+	}
+	for _, sp := range spans {
+		for c := sp.from; c <= sp.to && c < width; c++ {
+			band[c] = '-'
+		}
+		band[sp.from] = '|'
+		for k := 0; k < len(sp.label) && sp.from+1+k <= sp.to; k++ {
+			band[sp.from+1+k] = sp.label[k]
+		}
+	}
+	b.Write(band)
+	b.WriteByte('\n')
+
+	// Current sparkline: 5 rows, tallest bar = peak current.
+	const rows = 5
+	p := s.Profile(g)
+	peak := p.PeakCurrent()
+	if peak <= 0 {
+		peak = 1
+	}
+	heights := make([]int, width)
+	for c := 0; c < width; c++ {
+		at := (float64(c) + 0.5) / float64(width) * total
+		cur := p.CurrentAt(at)
+		h := int(cur / peak * rows)
+		if cur > 0 && h == 0 {
+			h = 1
+		}
+		heights[c] = h
+	}
+	for r := rows; r >= 1; r-- {
+		line := make([]byte, width)
+		for c := 0; c < width; c++ {
+			if heights[c] >= r {
+				line[c] = '#'
+			} else {
+				line[c] = ' '
+			}
+		}
+		b.Write(line)
+		if r == rows {
+			fmt.Fprintf(&b, " %.0f mA", peak)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "0%smin %.1f\n", strings.Repeat(" ", width-10), total)
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,66 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteTimeline(t *testing.T) {
+	g := chain(t)
+	s := &Schedule{Order: []int{1, 2}, Assignment: map[int]int{1: 0, 2: 1}}
+	var buf bytes.Buffer
+	if err := s.WriteTimeline(&buf, g, 60); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Task band + 5 sparkline rows + axis.
+	if len(lines) != 7 {
+		t.Fatalf("timeline has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "T1") || !strings.Contains(lines[0], "T2") {
+		t.Fatalf("task band missing labels: %q", lines[0])
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("sparkline empty")
+	}
+	if !strings.Contains(lines[1], "mA") {
+		t.Fatalf("peak annotation missing: %q", lines[1])
+	}
+	if !strings.Contains(lines[6], "min") {
+		t.Fatalf("axis missing: %q", lines[6])
+	}
+	// The high-current task (T1 at 100 mA) must show a taller bar than
+	// the low-current tail (T2 at 20 mA): the first sparkline row has a
+	// '#' early but not late.
+	top := lines[1]
+	if !strings.Contains(top[:10], "#") {
+		t.Fatalf("tall bar missing at start: %q", top)
+	}
+	if strings.Contains(top[40:60], "#") {
+		t.Fatalf("tail should be short bars: %q", top)
+	}
+}
+
+func TestWriteTimelineValidates(t *testing.T) {
+	g := chain(t)
+	bad := &Schedule{Order: []int{2, 1}, Assignment: map[int]int{1: 0, 2: 0}}
+	var buf bytes.Buffer
+	if err := bad.WriteTimeline(&buf, g, 60); err == nil {
+		t.Fatal("invalid schedule should be rejected")
+	}
+}
+
+func TestWriteTimelineDefaultWidth(t *testing.T) {
+	g := chain(t)
+	s := &Schedule{Order: []int{1, 2}, Assignment: map[int]int{1: 0, 2: 0}}
+	var buf bytes.Buffer
+	if err := s.WriteTimeline(&buf, g, 0); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(buf.String(), "\n", 2)[0]
+	if len(first) != 72 {
+		t.Fatalf("default width = %d, want 72", len(first))
+	}
+}

@@ -1,0 +1,305 @@
+// Package sim is a discrete-event simulator for the portable platform the
+// paper assumes: a single processing element (a voltage/frequency-scalable
+// CPU or an FPGA) driven by a battery, executing a schedule's tasks
+// sequentially. The paper takes per-design-point time and current estimates
+// as given and validates schedules analytically; this simulator closes the
+// loop by actually "running" a schedule against the battery model,
+// including implementation-switch overheads the analysis folds away
+// (DVS level-switch time, FPGA reconfiguration) and mid-run battery death.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/battery"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// EventKind tags a simulation trace event.
+type EventKind int
+
+const (
+	// EventExec is a task executing with its assigned design point.
+	EventExec EventKind = iota
+	// EventSwitch is a DVS voltage/frequency level change.
+	EventSwitch
+	// EventReconfig is an FPGA bitstream load.
+	EventReconfig
+	// EventIdle is inserted rest (trailing slack).
+	EventIdle
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventExec:
+		return "exec"
+	case EventSwitch:
+		return "switch"
+	case EventReconfig:
+		return "reconfig"
+	case EventIdle:
+		return "idle"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one interval of the simulated run.
+type Event struct {
+	Kind    EventKind
+	TaskID  int     // task being (or about to be) executed; 0 for idle
+	Point   int     // 0-based design point (exec events)
+	Start   float64 // minutes from run start
+	End     float64
+	Current float64 // platform current during the event, mA
+}
+
+// ProcessingElement models the implementation-switch behaviour of the
+// platform's compute device.
+type ProcessingElement interface {
+	// SwitchOverhead returns the (duration, current) cost of moving
+	// from design point `from` of the previous task to design point
+	// `to` of the next task; (0, 0) means free. from is -1 for the
+	// first task.
+	SwitchOverhead(from, to int) (duration, current float64)
+	// Kind returns the trace event kind for switch overheads.
+	Kind() EventKind
+	// Name identifies the element in reports.
+	Name() string
+}
+
+// CPU is a DVS processor: changing voltage/frequency level costs a fixed
+// re-lock time at a given current. Same-level transitions are free.
+type CPU struct {
+	// SwitchTime is the level-change duration in minutes (PLL/DC-DC
+	// settle time); typical values are well under a millisecond, so
+	// the default 0 is a faithful simplification.
+	SwitchTime float64
+	// SwitchCurrent is the platform current during the change, mA.
+	SwitchCurrent float64
+}
+
+// SwitchOverhead implements ProcessingElement.
+func (c CPU) SwitchOverhead(from, to int) (float64, float64) {
+	if from == to || from < 0 || c.SwitchTime <= 0 {
+		return 0, 0
+	}
+	return c.SwitchTime, c.SwitchCurrent
+}
+
+// Kind implements ProcessingElement.
+func (c CPU) Kind() EventKind { return EventSwitch }
+
+// Name implements ProcessingElement.
+func (c CPU) Name() string { return "dvs-cpu" }
+
+// FPGA reconfigures between tasks: every task runs its own bitstream, so
+// each task boundary pays the reconfiguration cost regardless of design
+// point (unless ReconfigTime is zero).
+type FPGA struct {
+	// ReconfigTime is the bitstream load time in minutes.
+	ReconfigTime float64
+	// ReconfigCurrent is the platform current while loading, mA.
+	ReconfigCurrent float64
+}
+
+// SwitchOverhead implements ProcessingElement.
+func (f FPGA) SwitchOverhead(from, to int) (float64, float64) {
+	if f.ReconfigTime <= 0 {
+		return 0, 0
+	}
+	return f.ReconfigTime, f.ReconfigCurrent
+}
+
+// Kind implements ProcessingElement.
+func (f FPGA) Kind() EventKind { return EventReconfig }
+
+// Name implements ProcessingElement.
+func (f FPGA) Name() string { return "fpga" }
+
+// Platform bundles the device, peripherals and battery of a simulated run.
+type Platform struct {
+	// PE is the processing element; nil means an ideal CPU with free
+	// switches (the paper's model, where all overheads are folded into
+	// the per-task estimates).
+	PE ProcessingElement
+	// BaseCurrent is added to every interval's current: peripherals
+	// (memory, display) that stay on for the whole run. The paper
+	// folds these into the task currents, so the default is 0.
+	BaseCurrent float64
+	// Model is the battery model (default: Rakhmatov with the paper's
+	// beta).
+	Model battery.Model
+	// Capacity is the battery capacity alpha in mA·min; 0 or +Inf
+	// means "sufficiently large" (the paper's illustrative setting) —
+	// the battery never dies.
+	Capacity float64
+}
+
+func (p Platform) withDefaults() Platform {
+	if p.PE == nil {
+		p.PE = CPU{}
+	}
+	if p.Model == nil {
+		p.Model = battery.NewRakhmatov(battery.DefaultBeta)
+	}
+	if p.Capacity == 0 {
+		p.Capacity = math.Inf(1)
+	}
+	return p
+}
+
+// Result is the outcome of a simulated run.
+type Result struct {
+	// Events is the full execution trace.
+	Events []Event
+	// Profile is the battery discharge profile the run produced
+	// (including overheads and base current).
+	Profile battery.Profile
+	// Completed reports whether every task finished before the battery
+	// died.
+	Completed bool
+	// DiedAt is the battery death time (only meaningful when
+	// !Completed).
+	DiedAt float64
+	// FinishTime is the completion time of the last finished task.
+	FinishTime float64
+	// ChargeLost is sigma at the end of the run.
+	ChargeLost float64
+	// Delivered is the charge delivered to the load, mA·min.
+	Delivered float64
+	// TasksCompleted counts tasks that finished.
+	TasksCompleted int
+}
+
+// Run executes the schedule on the platform. The schedule must validate
+// against the graph. Battery death is detected at the first time sigma
+// crosses the capacity; execution stops mid-task when that happens.
+func Run(p Platform, g *taskgraph.Graph, s *sched.Schedule) (*Result, error) {
+	if err := s.Validate(g); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	if p.BaseCurrent < 0 {
+		return nil, errors.New("sim: negative base current")
+	}
+
+	res := &Result{Completed: true}
+	var profile battery.Profile
+	now := 0.0
+	prevPoint := -1
+
+	appendInterval := func(kind EventKind, taskID, point int, current, dur float64) {
+		if dur <= 0 {
+			return
+		}
+		ev := Event{Kind: kind, TaskID: taskID, Point: point, Start: now, End: now + dur, Current: current + p.BaseCurrent}
+		res.Events = append(res.Events, ev)
+		profile = append(profile, battery.Interval{Current: ev.Current, Duration: dur})
+		now += dur
+	}
+
+	died := func() (float64, bool) {
+		if math.IsInf(p.Capacity, 1) {
+			return 0, false
+		}
+		return battery.Lifetime(p.Model, profile, p.Capacity, battery.LifetimeOptions{})
+	}
+
+	for _, id := range s.Order {
+		pt := g.Task(id).Points[s.Assignment[id]]
+		// Implementation switch overhead.
+		if d, c := p.PE.SwitchOverhead(prevPoint, s.Assignment[id]); d > 0 {
+			appendInterval(p.PE.Kind(), id, s.Assignment[id], c, d)
+		}
+		appendInterval(EventExec, id, s.Assignment[id], pt.Current, pt.Time)
+		prevPoint = s.Assignment[id]
+		if t, dead := died(); dead {
+			res.Completed = false
+			res.DiedAt = t
+			// Count tasks that finished strictly before death.
+			res.TasksCompleted = 0
+			for _, ev := range res.Events {
+				if ev.Kind == EventExec && ev.End <= t {
+					res.TasksCompleted++
+				}
+			}
+			res.FinishTime = t
+			res.Profile = profile
+			res.ChargeLost = p.Model.ChargeLost(profile, t)
+			res.Delivered = profile.DeliveredCharge(t)
+			return res, nil
+		}
+		res.TasksCompleted++
+	}
+	res.FinishTime = now
+	res.Profile = profile
+	res.ChargeLost = p.Model.ChargeLost(profile, now)
+	res.Delivered = profile.DeliveredCharge(now)
+	return res, nil
+}
+
+// RunProfile drives the platform's battery with an arbitrary discharge
+// profile (for example an idle-padded one from core.OptimizeIdle's
+// IdlePlan.Apply) and reports completion or death. Base current is added
+// to every interval; the processing element is not consulted (the profile
+// already encodes the work).
+func RunProfile(p Platform, profile battery.Profile) (*Result, error) {
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	if p.BaseCurrent < 0 {
+		return nil, errors.New("sim: negative base current")
+	}
+	run := make(battery.Profile, len(profile))
+	copy(run, profile)
+	if p.BaseCurrent > 0 {
+		for i := range run {
+			run[i].Current += p.BaseCurrent
+		}
+	}
+	res := &Result{Completed: true, Profile: run, FinishTime: run.TotalTime()}
+	if !math.IsInf(p.Capacity, 1) {
+		if t, dead := battery.Lifetime(p.Model, run, p.Capacity, battery.LifetimeOptions{}); dead {
+			res.Completed = false
+			res.DiedAt = t
+			res.FinishTime = t
+		}
+	}
+	res.ChargeLost = p.Model.ChargeLost(run, res.FinishTime)
+	res.Delivered = run.DeliveredCharge(res.FinishTime)
+	return res, nil
+}
+
+// LifetimeUnderRepetition runs the schedule back to back until the battery
+// dies and returns (full runs completed, death time). It models the
+// paper's motivating scenario — a periodic application draining a finite
+// battery — and shows how the scheduler's sigma savings convert into extra
+// mission cycles. maxRuns bounds the search.
+func LifetimeUnderRepetition(p Platform, g *taskgraph.Graph, s *sched.Schedule, maxRuns int) (int, float64, error) {
+	if err := s.Validate(g); err != nil {
+		return 0, 0, err
+	}
+	p = p.withDefaults()
+	if math.IsInf(p.Capacity, 1) {
+		return 0, 0, errors.New("sim: repetition lifetime needs a finite capacity")
+	}
+	one := s.Profile(g)
+	if p.BaseCurrent > 0 {
+		for i := range one {
+			one[i].Current += p.BaseCurrent
+		}
+	}
+	var profile battery.Profile
+	for run := 1; run <= maxRuns; run++ {
+		profile = append(profile, one...)
+		if t, dead := battery.Lifetime(p.Model, profile, p.Capacity, battery.LifetimeOptions{}); dead {
+			return run - 1, t, nil
+		}
+	}
+	return maxRuns, profile.TotalTime(), nil
+}

@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/battery"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func chain(t *testing.T) (*taskgraph.Graph, *sched.Schedule) {
+	t.Helper()
+	var b taskgraph.Builder
+	b.AddTask(1, "", taskgraph.DesignPoint{Current: 100, Time: 2}, taskgraph.DesignPoint{Current: 20, Time: 4})
+	b.AddTask(2, "", taskgraph.DesignPoint{Current: 200, Time: 1}, taskgraph.DesignPoint{Current: 40, Time: 3})
+	b.AddEdge(1, 2)
+	g := b.MustBuild()
+	s := &sched.Schedule{Order: []int{1, 2}, Assignment: map[int]int{1: 0, 2: 1}}
+	return g, s
+}
+
+func TestRunMatchesAnalyticProfile(t *testing.T) {
+	g, s := chain(t)
+	res, err := Run(Platform{}, g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.TasksCompleted != 2 {
+		t.Fatalf("run did not complete: %+v", res)
+	}
+	want := s.Profile(g)
+	if len(res.Profile) != len(want) {
+		t.Fatalf("profile length %d, want %d", len(res.Profile), len(want))
+	}
+	for k := range want {
+		if res.Profile[k] != want[k] {
+			t.Fatalf("profile[%d] = %v, want %v", k, res.Profile[k], want[k])
+		}
+	}
+	if !almost(res.FinishTime, 5, 1e-12) {
+		t.Fatalf("finish = %g", res.FinishTime)
+	}
+	m := battery.NewRakhmatov(battery.DefaultBeta)
+	if !almost(res.ChargeLost, m.ChargeLost(want, 5), 1e-9) {
+		t.Fatalf("sigma mismatch: %g", res.ChargeLost)
+	}
+	if !almost(res.Delivered, 320, 1e-9) { // 100·2 + 40·3
+		t.Fatalf("delivered = %g", res.Delivered)
+	}
+	// Two exec events, no overheads by default.
+	if len(res.Events) != 2 || res.Events[0].Kind != EventExec {
+		t.Fatalf("events = %+v", res.Events)
+	}
+}
+
+func TestRunRejectsInvalidSchedule(t *testing.T) {
+	g, s := chain(t)
+	bad := s.Clone()
+	bad.Order = []int{2, 1}
+	if _, err := Run(Platform{}, g, bad); err == nil {
+		t.Fatal("invalid schedule accepted")
+	}
+	if _, err := Run(Platform{BaseCurrent: -1}, g, s); err == nil {
+		t.Fatal("negative base current accepted")
+	}
+}
+
+func TestBaseCurrentAdded(t *testing.T) {
+	g, s := chain(t)
+	res, err := Run(Platform{BaseCurrent: 10}, g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile[0].Current != 110 || res.Profile[1].Current != 50 {
+		t.Fatalf("profile = %v", res.Profile)
+	}
+}
+
+func TestCPUSwitchOverhead(t *testing.T) {
+	g, s := chain(t)
+	// Tasks use different design points (0 then 1), so exactly one
+	// switch happens between them; none before the first task.
+	res, err := Run(Platform{PE: CPU{SwitchTime: 0.5, SwitchCurrent: 40}}, g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) != 3 {
+		t.Fatalf("events = %+v", res.Events)
+	}
+	sw := res.Events[1]
+	if sw.Kind != EventSwitch || sw.Current != 40 || !almost(sw.End-sw.Start, 0.5, 1e-12) {
+		t.Fatalf("switch event = %+v", sw)
+	}
+	if !almost(res.FinishTime, 5.5, 1e-12) {
+		t.Fatalf("finish = %g", res.FinishTime)
+	}
+	// Same design point twice → no switch.
+	s2 := s.Clone()
+	s2.Assignment[2] = 0
+	res2, err := Run(Platform{PE: CPU{SwitchTime: 0.5, SwitchCurrent: 40}}, g, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Events) != 2 {
+		t.Fatalf("same-level run has %d events", len(res2.Events))
+	}
+}
+
+func TestFPGAReconfigEveryTask(t *testing.T) {
+	g, s := chain(t)
+	res, err := Run(Platform{PE: FPGA{ReconfigTime: 1, ReconfigCurrent: 150}}, g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconfig before every task, including the first (bitstream load).
+	kinds := make([]EventKind, len(res.Events))
+	for k, e := range res.Events {
+		kinds[k] = e.Kind
+	}
+	want := []EventKind{EventReconfig, EventExec, EventReconfig, EventExec}
+	if len(kinds) != len(want) {
+		t.Fatalf("events = %v", kinds)
+	}
+	for k := range want {
+		if kinds[k] != want[k] {
+			t.Fatalf("events = %v, want %v", kinds, want)
+		}
+	}
+	if !almost(res.FinishTime, 7, 1e-12) {
+		t.Fatalf("finish = %g", res.FinishTime)
+	}
+}
+
+func TestBatteryDeathMidRun(t *testing.T) {
+	g, s := chain(t)
+	// Ideal model for easy arithmetic: task 1 delivers 200 by t=2; task
+	// 2 delivers 40/min after. Capacity 260 dies at t = 2 + 60/40 = 3.5.
+	res, err := Run(Platform{Model: battery.Ideal{}, Capacity: 260}, g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("battery should have died")
+	}
+	if !almost(res.DiedAt, 3.5, 1e-6) {
+		t.Fatalf("died at %g, want 3.5", res.DiedAt)
+	}
+	if res.TasksCompleted != 1 {
+		t.Fatalf("tasks completed = %d, want 1", res.TasksCompleted)
+	}
+	if !almost(res.ChargeLost, 260, 1e-6) {
+		t.Fatalf("sigma at death = %g, want 260", res.ChargeLost)
+	}
+}
+
+func TestInfiniteCapacityNeverDies(t *testing.T) {
+	g, s := chain(t)
+	res, err := Run(Platform{Capacity: math.Inf(1)}, g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("infinite capacity must complete")
+	}
+}
+
+func TestLifetimeUnderRepetition(t *testing.T) {
+	g, s := chain(t)
+	// One run delivers 320 mA·min (ideal). Capacity 1000 → 3 full runs
+	// (960), dies during the 4th.
+	runs, diedAt, err := LifetimeUnderRepetition(Platform{Model: battery.Ideal{}, Capacity: 1000}, g, s, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 3 {
+		t.Fatalf("full runs = %d, want 3", runs)
+	}
+	if diedAt <= 15 || diedAt > 20 {
+		t.Fatalf("died at %g, want within the 4th run (15, 20]", diedAt)
+	}
+	// The RV battery must support no more runs than ideal.
+	rvRuns, _, err := LifetimeUnderRepetition(Platform{Capacity: 1000}, g, s, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rvRuns > runs {
+		t.Fatalf("RV supported %d runs, ideal only %d", rvRuns, runs)
+	}
+	if _, _, err := LifetimeUnderRepetition(Platform{}, g, s, 10); err == nil {
+		t.Fatal("infinite capacity repetition should error")
+	}
+}
+
+// TestSchedulerSavingsExtendLifetime is the end-to-end story of the paper:
+// a better (battery-aware) schedule of the same task graph yields more
+// repetitions on the same battery than the naive all-fastest schedule.
+func TestSchedulerSavingsExtendLifetime(t *testing.T) {
+	g := taskgraph.G2()
+	naive := &sched.Schedule{Order: g.TopoOrder(), Assignment: map[int]int{}}
+	slow := &sched.Schedule{Order: g.TopoOrder(), Assignment: map[int]int{}}
+	for _, id := range g.TaskIDs() {
+		naive.Assignment[id] = 0
+		slow.Assignment[id] = 3
+	}
+	plat := Platform{Capacity: 60000}
+	fastRuns, _, err := LifetimeUnderRepetition(plat, g, naive, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowRuns, _, err := LifetimeUnderRepetition(plat, g, slow, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowRuns <= fastRuns {
+		t.Fatalf("low-power schedule gave %d runs, all-fastest %d — expected more", slowRuns, fastRuns)
+	}
+}
+
+func TestRunProfile(t *testing.T) {
+	p := battery.Profile{{Current: 100, Duration: 5}, {Current: 0, Duration: 5}, {Current: 50, Duration: 5}}
+	res, err := RunProfile(Platform{Model: battery.Ideal{}, Capacity: 1000}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delivered: 500 by t=5, then rest, then 250 more; dies at 1000?
+	// total delivered = 750 < 1000 → survives.
+	if !res.Completed || res.Delivered != 750 {
+		t.Fatalf("res = %+v", res)
+	}
+	// Tighter capacity: dies during the first interval at t=4.
+	res2, err := RunProfile(Platform{Model: battery.Ideal{}, Capacity: 400}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Completed || !almost(res2.DiedAt, 4, 1e-6) {
+		t.Fatalf("res2 = %+v", res2)
+	}
+	// Base current is added everywhere, including rest.
+	res3, err := RunProfile(Platform{Model: battery.Ideal{}, BaseCurrent: 10}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Delivered != 750+10*15 {
+		t.Fatalf("base current not added: %+v", res3)
+	}
+	if _, err := RunProfile(Platform{}, battery.Profile{{Current: -1, Duration: 1}}); err == nil {
+		t.Fatal("invalid profile should be rejected")
+	}
+	if _, err := RunProfile(Platform{BaseCurrent: -2}, p); err == nil {
+		t.Fatal("negative base current should be rejected")
+	}
+}
+
+// TestRunProfileWithIdlePlan closes the loop between the idle extension
+// and the simulator: the padded profile must survive a battery that the
+// unpadded schedule kills.
+func TestRunProfileWithIdlePlan(t *testing.T) {
+	var b taskgraph.Builder
+	b.AddTask(1, "", taskgraph.DesignPoint{Current: 900, Time: 10})
+	b.AddTask(2, "", taskgraph.DesignPoint{Current: 850, Time: 10})
+	b.AddEdge(1, 2)
+	g := b.MustBuild()
+	s := &sched.Schedule{Order: []int{1, 2}, Assignment: map[int]int{1: 0, 2: 0}}
+	m := battery.NewRakhmatov(battery.DefaultBeta)
+	raw := s.Profile(g)
+	sigmaRaw := m.ChargeLost(raw, raw.TotalTime())
+	// Insert a long interior rest and pick a capacity between the
+	// padded and unpadded peaks.
+	padded := battery.Profile{raw[0], {Current: 0, Duration: 60}, raw[1]}
+	sigmaPadded := m.ChargeLost(padded, padded.TotalTime())
+	if sigmaPadded >= sigmaRaw {
+		t.Fatalf("setup: padding did not help (%g vs %g)", sigmaPadded, sigmaRaw)
+	}
+	capacity := (sigmaPadded + sigmaRaw) / 2
+	dead, err := RunProfile(Platform{Model: m, Capacity: capacity}, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive, err := RunProfile(Platform{Model: m, Capacity: capacity}, padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dead.Completed || !alive.Completed {
+		t.Fatalf("expected raw to die and padded to survive: %+v vs %+v", dead, alive)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for _, k := range []EventKind{EventExec, EventSwitch, EventReconfig, EventIdle, EventKind(99)} {
+		if k.String() == "" {
+			t.Fatal("EventKind strings must be non-empty")
+		}
+	}
+	if (CPU{}).Name() == "" || (FPGA{}).Name() == "" {
+		t.Fatal("PE names must be non-empty")
+	}
+}

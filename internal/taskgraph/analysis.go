@@ -1,0 +1,172 @@
+package taskgraph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Analysis summarizes the structural and workload properties of a graph —
+// the numbers that determine how hard an instance is for the scheduler
+// (parallelism shrinks the set of legal orders the sequencer can exploit;
+// the time spread bounds what design-point selection can trade).
+type Analysis struct {
+	Tasks  int
+	Edges  int
+	Points int // design points per task (0 if non-uniform)
+
+	// Depth is the longest path length in tasks (chain length).
+	Depth int
+	// MaxWidth is the largest antichain of the layered decomposition —
+	// the peak nominal parallelism.
+	MaxWidth int
+	// Orders estimates the number of topological orders, capped at
+	// OrdersCap (exact below the cap).
+	Orders    int64
+	OrdersCap int64
+
+	// MinTime/MaxTime are the all-fastest and all-slowest completion
+	// times; deadlines outside [MinTime, MaxTime] make the instance
+	// trivial (infeasible or all-lowest-power).
+	MinTime float64
+	MaxTime float64
+	// TimeSpread is MaxTime/MinTime — the dynamic range design-point
+	// selection can exploit.
+	TimeSpread float64
+	// CurrentSpread is Imax/Imin over all design points (0 if Imin=0).
+	CurrentSpread float64
+}
+
+// Analyze computes the analysis. ordersCap bounds the topological-order
+// count (0 means 100000).
+func (g *Graph) Analyze(ordersCap int64) Analysis {
+	if ordersCap <= 0 {
+		ordersCap = 100000
+	}
+	a := Analysis{
+		Tasks:     g.N(),
+		Edges:     g.EdgeCount(),
+		OrdersCap: ordersCap,
+		MinTime:   g.MinTotalTime(),
+		MaxTime:   g.MaxTotalTime(),
+	}
+	if m, ok := g.UniformPointCount(); ok {
+		a.Points = m
+	}
+	if a.MinTime > 0 {
+		a.TimeSpread = a.MaxTime / a.MinTime
+	}
+	iMin, iMax := g.CurrentRange()
+	if iMin > 0 {
+		a.CurrentSpread = iMax / iMin
+	}
+
+	// Longest path (depth) and layer widths by topological sweep.
+	n := g.N()
+	level := make([]int, n)
+	for _, u := range g.topo {
+		for _, p := range g.preds[u] {
+			if level[p]+1 > level[u] {
+				level[u] = level[p] + 1
+			}
+		}
+	}
+	widths := map[int]int{}
+	for i := 0; i < n; i++ {
+		widths[level[i]]++
+		if level[i]+1 > a.Depth {
+			a.Depth = level[i] + 1
+		}
+	}
+	for _, w := range widths {
+		if w > a.MaxWidth {
+			a.MaxWidth = w
+		}
+	}
+	a.Orders = countOrders(g, ordersCap)
+	return a
+}
+
+// countOrders counts topological orders up to the cap (mirrors
+// baseline.CountTopoOrders; duplicated here to keep taskgraph
+// dependency-free).
+func countOrders(g *Graph, limit int64) int64 {
+	n := g.N()
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = len(g.preds[i])
+	}
+	var count int64
+	var walk func(placed int)
+	walk = func(placed int) {
+		if count >= limit {
+			return
+		}
+		if placed == n {
+			count++
+			return
+		}
+		for i := 0; i < n; i++ {
+			if indeg[i] != 0 {
+				continue
+			}
+			indeg[i] = -1
+			for _, v := range g.succs[i] {
+				indeg[v]--
+			}
+			walk(placed + 1)
+			for _, v := range g.succs[i] {
+				indeg[v]++
+			}
+			indeg[i] = 0
+			if count >= limit {
+				return
+			}
+		}
+	}
+	walk(0)
+	return count
+}
+
+// CriticalPathTime returns the longest path length through the graph when
+// every task uses design-point column j — the lower bound a parallel
+// machine could reach; on the paper's single-PE platform the makespan is
+// the column sum instead, so the ratio column-sum/critical-path measures
+// how much parallelism the platform leaves unexploited.
+func (g *Graph) CriticalPathTime(j int) (float64, error) {
+	n := g.N()
+	finish := make([]float64, n)
+	var best float64
+	for _, u := range g.topo {
+		if j < 0 || j >= len(g.tasks[u].Points) {
+			return 0, fmt.Errorf("taskgraph: task %d has no design point %d", g.tasks[u].ID, j)
+		}
+		start := 0.0
+		for _, p := range g.preds[u] {
+			if finish[p] > start {
+				start = finish[p]
+			}
+		}
+		finish[u] = start + g.tasks[u].Points[j].Time
+		if finish[u] > best {
+			best = finish[u]
+		}
+	}
+	return best, nil
+}
+
+// String renders the analysis compactly.
+func (a Analysis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d tasks, %d edges", a.Tasks, a.Edges)
+	if a.Points > 0 {
+		fmt.Fprintf(&b, ", %d points/task", a.Points)
+	}
+	fmt.Fprintf(&b, "; depth %d, max width %d", a.Depth, a.MaxWidth)
+	if a.Orders >= a.OrdersCap {
+		fmt.Fprintf(&b, ", >%d orders", a.OrdersCap)
+	} else {
+		fmt.Fprintf(&b, ", %d orders", a.Orders)
+	}
+	fmt.Fprintf(&b, "; time %.1f–%.1f min (%.2fx)", a.MinTime, a.MaxTime, a.TimeSpread)
+	return b.String()
+}

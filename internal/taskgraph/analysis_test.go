@@ -1,0 +1,101 @@
+package taskgraph
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeDiamond(t *testing.T) {
+	var b Builder
+	for id := 1; id <= 4; id++ {
+		b.AddTask(id, "", pt(100, 1), pt(10, 2))
+	}
+	b.AddEdge(1, 2).AddEdge(1, 3).AddEdge(2, 4).AddEdge(3, 4)
+	g := b.MustBuild()
+	a := g.Analyze(0)
+	if a.Tasks != 4 || a.Edges != 4 || a.Points != 2 {
+		t.Fatalf("analysis = %+v", a)
+	}
+	if a.Depth != 3 {
+		t.Fatalf("depth = %d, want 3 (1→2→4)", a.Depth)
+	}
+	if a.MaxWidth != 2 {
+		t.Fatalf("max width = %d, want 2 ({2,3})", a.MaxWidth)
+	}
+	if a.Orders != 2 {
+		t.Fatalf("orders = %d, want 2", a.Orders)
+	}
+	if a.MinTime != 4 || a.MaxTime != 8 || a.TimeSpread != 2 {
+		t.Fatalf("times = %+v", a)
+	}
+	if a.CurrentSpread != 10 {
+		t.Fatalf("current spread = %g", a.CurrentSpread)
+	}
+	if s := a.String(); !strings.Contains(s, "depth 3") || !strings.Contains(s, "2 orders") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestAnalyzeG3(t *testing.T) {
+	a := G3().Analyze(0)
+	// G3's layers: T1 | T2..T5 | T6,T7 | T8 | T9,T10 | T11,T12,T13 |
+	// T14 | T15 → depth 8, max width 4.
+	if a.Depth != 8 {
+		t.Fatalf("G3 depth = %d, want 8", a.Depth)
+	}
+	if a.MaxWidth != 4 {
+		t.Fatalf("G3 max width = %d, want 4", a.MaxWidth)
+	}
+	if a.Orders <= 1 {
+		t.Fatalf("G3 orders = %d", a.Orders)
+	}
+}
+
+func TestAnalyzeOrdersCap(t *testing.T) {
+	var b Builder
+	for id := 1; id <= 10; id++ {
+		b.AddTask(id, "", pt(1, 1))
+	}
+	g := b.MustBuild() // 10 independent tasks: 10! orders
+	a := g.Analyze(500)
+	if a.Orders != 500 {
+		t.Fatalf("orders = %d, want capped 500", a.Orders)
+	}
+	if s := a.String(); !strings.Contains(s, ">500 orders") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestCriticalPathTime(t *testing.T) {
+	var b Builder
+	for id := 1; id <= 4; id++ {
+		b.AddTask(id, "", pt(100, float64(id))) // times 1,2,3,4
+	}
+	b.AddEdge(1, 2).AddEdge(1, 3).AddEdge(2, 4).AddEdge(3, 4)
+	g := b.MustBuild()
+	// Longest path 1→3→4 = 1+3+4 = 8.
+	cp, err := g.CriticalPathTime(0)
+	if err != nil || math.Abs(cp-8) > 1e-12 {
+		t.Fatalf("critical path = %g, %v; want 8", cp, err)
+	}
+	if _, err := g.CriticalPathTime(5); err == nil {
+		t.Fatal("bad column should error")
+	}
+	// Single-PE makespan (column sum 10) exceeds the critical path —
+	// the parallelism the platform cannot use.
+	ct, _ := g.ColumnTime(0)
+	if ct <= cp {
+		t.Fatalf("column time %g should exceed critical path %g here", ct, cp)
+	}
+	// On a chain they coincide.
+	chain, err := Chain(3, func(int) []DesignPoint { return []DesignPoint{pt(1, 2)} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccp, _ := chain.CriticalPathTime(0)
+	cct, _ := chain.ColumnTime(0)
+	if ccp != cct {
+		t.Fatalf("chain: cp %g != column %g", ccp, cct)
+	}
+}

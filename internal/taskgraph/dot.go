@@ -1,0 +1,31 @@
+package taskgraph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT form. Each node is labeled
+// with its name and the time range across design points, which makes the
+// trade-off space visible when the drawing is inspected.
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	if name == "" {
+		name = "taskgraph"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontname=\"Helvetica\"];\n")
+	for i := 0; i < g.N(); i++ {
+		t := g.TaskAt(i)
+		fast, slow := t.FastestTime(), t.SlowestTime()
+		fmt.Fprintf(&b, "  t%d [label=\"%s\\n%d pts, %.1f–%.1f min\"];\n",
+			t.ID, t.Name, len(t.Points), fast, slow)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  t%d -> t%d;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,174 @@
+package taskgraph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PointsFunc produces the design points for the task at the given dense
+// index. Generators call it once per task, letting callers plug in the
+// voltage-scaling recipes from internal/dvs or any synthetic model.
+type PointsFunc func(taskIndex int) []DesignPoint
+
+// Chain returns a linear task chain 1→2→…→n.
+func Chain(n int, points PointsFunc) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("taskgraph: chain needs n >= 1, got %d", n)
+	}
+	var b Builder
+	for i := 0; i < n; i++ {
+		b.AddTask(i+1, taskName(i+1), points(i)...)
+	}
+	for i := 1; i < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+// ForkJoin returns a fork-join graph in the style the paper uses for G3:
+// a source task fans out to `width` parallel branches each `depth` tasks
+// long, which join into a sink chain of `tailLen` tasks. Total task count
+// is 1 + width*depth + tailLen.
+func ForkJoin(width, depth, tailLen int, points PointsFunc) (*Graph, error) {
+	if width < 1 || depth < 1 || tailLen < 1 {
+		return nil, fmt.Errorf("taskgraph: fork-join needs width, depth, tailLen >= 1 (got %d, %d, %d)", width, depth, tailLen)
+	}
+	var b Builder
+	n := 1 + width*depth + tailLen
+	for i := 0; i < n; i++ {
+		b.AddTask(i+1, taskName(i+1), points(i)...)
+	}
+	// Source is task 1. Branch w (0-based) occupies IDs
+	// 2+w*depth .. 1+(w+1)*depth. The join task is 2+width*depth.
+	join := 2 + width*depth
+	for w := 0; w < width; w++ {
+		first := 2 + w*depth
+		b.AddEdge(1, first)
+		for k := 1; k < depth; k++ {
+			b.AddEdge(first+k-1, first+k)
+		}
+		b.AddEdge(first+depth-1, join)
+	}
+	for k := 1; k < tailLen; k++ {
+		b.AddEdge(join+k-1, join+k)
+	}
+	return b.Build()
+}
+
+// Layered returns a random layered DAG: `layers` layers of `width` tasks
+// each; every task in layer l>0 gets at least one parent from layer l-1,
+// plus extra layer-(l-1)→l edges added with probability density. The rng
+// must be non-nil; results are deterministic for a given seed.
+func Layered(rng *rand.Rand, layers, width int, density float64, points PointsFunc) (*Graph, error) {
+	if layers < 1 || width < 1 {
+		return nil, fmt.Errorf("taskgraph: layered needs layers, width >= 1 (got %d, %d)", layers, width)
+	}
+	if density < 0 || density > 1 {
+		return nil, fmt.Errorf("taskgraph: density must be in [0,1], got %g", density)
+	}
+	var b Builder
+	id := func(layer, k int) int { return layer*width + k + 1 }
+	n := layers * width
+	for i := 0; i < n; i++ {
+		b.AddTask(i+1, taskName(i+1), points(i)...)
+	}
+	for l := 1; l < layers; l++ {
+		for k := 0; k < width; k++ {
+			child := id(l, k)
+			// Guaranteed parent keeps the graph connected layer to layer.
+			b.AddEdge(id(l-1, rng.Intn(width)), child)
+			for p := 0; p < width; p++ {
+				if rng.Float64() < density {
+					b.AddEdge(id(l-1, p), child)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// SeriesParallel returns a random series-parallel DAG built by recursive
+// series/parallel composition until roughly n tasks exist. Series-parallel
+// graphs model the structured parallel programs the multiprocessor
+// scheduling literature uses (the paper cites fork-join as such a class).
+func SeriesParallel(rng *rand.Rand, n int, points PointsFunc) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("taskgraph: series-parallel needs n >= 1, got %d", n)
+	}
+	var b Builder
+	next := 0
+	newTask := func() int {
+		next++
+		b.AddTask(next, taskName(next), points(next-1)...)
+		return next
+	}
+	// build returns (entry, exit) of a series-parallel block of ~size tasks.
+	var build func(size int) (int, int)
+	build = func(size int) (int, int) {
+		if size <= 1 {
+			t := newTask()
+			return t, t
+		}
+		if rng.Intn(2) == 0 { // series composition
+			left := size / 2
+			e1, x1 := build(left)
+			e2, x2 := build(size - left)
+			b.AddEdge(x1, e2)
+			return e1, x2
+		}
+		// parallel composition needs distinct entry and exit tasks.
+		entry := newTask()
+		branches := 2 + rng.Intn(2)
+		inner := size - 2
+		if inner < branches {
+			branches = inner
+		}
+		if branches < 1 {
+			branches = 1
+		}
+		exits := make([]int, 0, branches)
+		for i := 0; i < branches; i++ {
+			share := inner / branches
+			if i < inner%branches {
+				share++
+			}
+			if share < 1 {
+				share = 1
+			}
+			e, x := build(share)
+			b.AddEdge(entry, e)
+			exits = append(exits, x)
+		}
+		exit := newTask()
+		for _, x := range exits {
+			b.AddEdge(x, exit)
+		}
+		return entry, exit
+	}
+	build(n)
+	return b.Build()
+}
+
+// Random returns a random DAG over n tasks where each ordered pair (i, j)
+// with i < j becomes an edge with probability edgeProb. Task IDs 1..n are a
+// valid topological order by construction.
+func Random(rng *rand.Rand, n int, edgeProb float64, points PointsFunc) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("taskgraph: random needs n >= 1, got %d", n)
+	}
+	if edgeProb < 0 || edgeProb > 1 {
+		return nil, fmt.Errorf("taskgraph: edgeProb must be in [0,1], got %g", edgeProb)
+	}
+	var b Builder
+	for i := 0; i < n; i++ {
+		b.AddTask(i+1, taskName(i+1), points(i)...)
+	}
+	for i := 1; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			if rng.Float64() < edgeProb {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,185 @@
+package taskgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func twoPoints(i int) []DesignPoint {
+	base := float64(i%7 + 1)
+	return []DesignPoint{
+		{Current: 100 * base, Time: base},
+		{Current: 10 * base, Time: 3 * base},
+	}
+}
+
+func TestChain(t *testing.T) {
+	g, err := Chain(5, twoPoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5 || g.EdgeCount() != 4 {
+		t.Fatalf("chain: n=%d e=%d", g.N(), g.EdgeCount())
+	}
+	order := g.TopoOrder()
+	for k, id := range order {
+		if id != k+1 {
+			t.Fatalf("chain topo order = %v", order)
+		}
+	}
+	if _, err := Chain(0, twoPoints); err == nil {
+		t.Fatal("Chain(0) should error")
+	}
+}
+
+func TestForkJoin(t *testing.T) {
+	g, err := ForkJoin(3, 2, 2, twoPoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantN := 1 + 3*2 + 2
+	if g.N() != wantN {
+		t.Fatalf("forkjoin n=%d want %d", g.N(), wantN)
+	}
+	if got := g.Roots(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("forkjoin roots = %v", got)
+	}
+	if got := g.Leaves(); len(got) != 1 {
+		t.Fatalf("forkjoin leaves = %v", got)
+	}
+	// The join task has one parent per branch.
+	join := 2 + 3*2
+	if got := g.Parents(join); len(got) != 3 {
+		t.Fatalf("join parents = %v", got)
+	}
+	if _, err := ForkJoin(0, 1, 1, twoPoints); err == nil {
+		t.Fatal("ForkJoin(0,...) should error")
+	}
+}
+
+func TestLayered(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, err := Layered(rng, 4, 3, 0.5, twoPoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 12 {
+		t.Fatalf("layered n=%d", g.N())
+	}
+	// Every non-first-layer task has at least one parent.
+	for id := 4; id <= 12; id++ {
+		if len(g.Parents(id)) == 0 {
+			t.Fatalf("task %d has no parent", id)
+		}
+	}
+	if !g.IsTopoOrder(g.TopoOrder()) {
+		t.Fatal("layered topo order invalid")
+	}
+	if _, err := Layered(rng, 1, 1, 2.0, twoPoints); err == nil {
+		t.Fatal("density > 1 should error")
+	}
+}
+
+func TestSeriesParallel(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := SeriesParallel(rng, 12, twoPoints)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if g.N() < 2 {
+			t.Fatalf("seed %d: too few tasks (%d)", seed, g.N())
+		}
+		if !g.IsTopoOrder(g.TopoOrder()) {
+			t.Fatalf("seed %d: invalid topo order", seed)
+		}
+	}
+}
+
+func TestRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g, err := Random(rng, 10, 0.3, twoPoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 10 {
+		t.Fatalf("random n=%d", g.N())
+	}
+	// IDs ascending must be a valid order by construction.
+	seq := make([]int, 10)
+	for k := range seq {
+		seq[k] = k + 1
+	}
+	if !g.IsTopoOrder(seq) {
+		t.Fatal("ascending IDs should be a topological order of Random output")
+	}
+}
+
+// TestRandomGraphInvariants property-tests structural invariants over many
+// random DAGs: topological order validity, reachability reflexivity and
+// transitivity, and ancestor/descendant duality.
+func TestRandomGraphInvariants(t *testing.T) {
+	check := func(seed int64, nRaw uint8, pRaw uint8) bool {
+		n := int(nRaw%12) + 1
+		p := float64(pRaw%100) / 100
+		rng := rand.New(rand.NewSource(seed))
+		g, err := Random(rng, n, p, twoPoints)
+		if err != nil {
+			return false
+		}
+		if !g.IsTopoOrder(g.TopoOrder()) {
+			return false
+		}
+		for _, id := range g.TaskIDs() {
+			reach := g.Reachable(id)
+			// Reflexive.
+			found := false
+			for _, r := range reach {
+				if r == id {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+			// Transitive: everything reachable from a child is
+			// reachable from the parent.
+			for _, c := range g.Children(id) {
+				for _, r := range g.Reachable(c) {
+					ok := false
+					for _, rr := range reach {
+						if rr == r {
+							ok = true
+							break
+						}
+					}
+					if !ok {
+						return false
+					}
+				}
+			}
+			// Duality: id is an ancestor of each strict descendant.
+			for _, r := range reach {
+				if r == id {
+					continue
+				}
+				anc := g.Ancestors(r)
+				ok := false
+				for _, a := range anc {
+					if a == id {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

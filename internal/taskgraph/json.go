@@ -1,0 +1,92 @@
+package taskgraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Spec is the JSON interchange form of a task graph. It mirrors the paper's
+// application specification: tasks with design points and parent lists.
+type Spec struct {
+	// Name optionally labels the graph.
+	Name string `json:"name,omitempty"`
+	// Tasks lists every task with its design points and parents.
+	Tasks []TaskSpec `json:"tasks"`
+}
+
+// TaskSpec is the JSON form of one task.
+type TaskSpec struct {
+	ID      int         `json:"id"`
+	Name    string      `json:"name,omitempty"`
+	Points  []PointSpec `json:"points"`
+	Parents []int       `json:"parents,omitempty"`
+}
+
+// PointSpec is the JSON form of one design point.
+type PointSpec struct {
+	Current float64 `json:"current"`
+	Time    float64 `json:"time"`
+	Voltage float64 `json:"voltage,omitempty"`
+	Name    string  `json:"name,omitempty"`
+}
+
+// ToSpec converts a graph to its interchange form with the given name.
+func (g *Graph) ToSpec(name string) Spec {
+	spec := Spec{Name: name}
+	for i := range g.tasks {
+		t := &g.tasks[i]
+		ts := TaskSpec{ID: t.ID, Name: t.Name, Parents: g.Parents(t.ID)}
+		for _, p := range t.Points {
+			ts.Points = append(ts.Points, PointSpec{Current: p.Current, Time: p.Time, Voltage: p.Voltage, Name: p.Name})
+		}
+		spec.Tasks = append(spec.Tasks, ts)
+	}
+	sort.Slice(spec.Tasks, func(a, b int) bool { return spec.Tasks[a].ID < spec.Tasks[b].ID })
+	return spec
+}
+
+// FromSpec builds and validates a graph from its interchange form.
+func FromSpec(spec Spec) (*Graph, error) {
+	if len(spec.Tasks) == 0 {
+		return nil, fmt.Errorf("taskgraph: spec %q has no tasks", spec.Name)
+	}
+	var b Builder
+	for _, ts := range spec.Tasks {
+		pts := make([]DesignPoint, len(ts.Points))
+		for j, p := range ts.Points {
+			pts[j] = DesignPoint{Current: p.Current, Time: p.Time, Voltage: p.Voltage, Name: p.Name}
+		}
+		name := ts.Name
+		if name == "" {
+			name = taskName(ts.ID)
+		}
+		b.AddTask(ts.ID, name, pts...)
+	}
+	for _, ts := range spec.Tasks {
+		for _, p := range ts.Parents {
+			b.AddEdge(p, ts.ID)
+		}
+	}
+	return b.Build()
+}
+
+// WriteJSON encodes the graph as indented JSON.
+func (g *Graph) WriteJSON(w io.Writer, name string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g.ToSpec(name))
+}
+
+// ReadJSON decodes a graph from JSON produced by WriteJSON (or hand-written
+// in the same schema) and validates it.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var spec Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("taskgraph: decoding spec: %w", err)
+	}
+	return FromSpec(spec)
+}

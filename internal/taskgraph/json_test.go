@@ -1,0 +1,88 @@
+package taskgraph
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := G3()
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf, "g3"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.EdgeCount() != g.EdgeCount() {
+		t.Fatalf("round trip changed shape: n %d→%d, e %d→%d", g.N(), back.N(), g.EdgeCount(), back.EdgeCount())
+	}
+	for _, id := range g.TaskIDs() {
+		a, b := g.Task(id), back.Task(id)
+		if b == nil {
+			t.Fatalf("task %d lost", id)
+		}
+		if len(a.Points) != len(b.Points) {
+			t.Fatalf("task %d point count changed", id)
+		}
+		for j := range a.Points {
+			if math.Abs(a.Points[j].Current-b.Points[j].Current) > 1e-12 ||
+				math.Abs(a.Points[j].Time-b.Points[j].Time) > 1e-12 {
+				t.Fatalf("task %d point %d changed: %v vs %v", id, j, a.Points[j], b.Points[j])
+			}
+		}
+		ap, bp := g.Parents(id), back.Parents(id)
+		if len(ap) != len(bp) {
+			t.Fatalf("task %d parents changed: %v vs %v", id, ap, bp)
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("want decode error")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"tasks":[]}`)); err == nil {
+		t.Fatal("want empty-spec error")
+	}
+	// Unknown fields are rejected to catch schema typos early.
+	if _, err := ReadJSON(strings.NewReader(`{"tasks":[{"id":1,"pointz":[]}]}`)); err == nil {
+		t.Fatal("want unknown-field error")
+	}
+	// Structural validation still applies.
+	bad := `{"tasks":[{"id":1,"points":[{"current":1,"time":1}],"parents":[1]}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("want self-edge error")
+	}
+}
+
+func TestFromSpecNamesDefault(t *testing.T) {
+	g, err := FromSpec(Spec{Tasks: []TaskSpec{{ID: 7, Points: []PointSpec{{Current: 1, Time: 1}}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Task(7).Name != "T7" {
+		t.Fatalf("default name = %q", g.Task(7).Name)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := G2()
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, "g2"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "t1 ->", "t8", "t9"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// One arrow per edge.
+	if got := strings.Count(out, "->"); got != g.EdgeCount() {
+		t.Fatalf("DOT has %d arrows, want %d", got, g.EdgeCount())
+	}
+}

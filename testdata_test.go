@@ -1,0 +1,46 @@
+package battsched_test
+
+import (
+	"os"
+	"testing"
+
+	battsched "repro"
+	"repro/internal/taskgraph"
+)
+
+// TestShippedFixtures verifies the JSON files under testdata/ (usable
+// directly with `battsched -graph testdata/g3.json`) stay byte-equivalent
+// to the in-code fixtures.
+func TestShippedFixtures(t *testing.T) {
+	for _, tc := range []struct {
+		path string
+		want *battsched.Graph
+	}{
+		{"testdata/g2.json", battsched.G2()},
+		{"testdata/g3.json", battsched.G3()},
+	} {
+		f, err := os.Open(tc.path)
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with taskgraph.WriteJSON)", tc.path, err)
+		}
+		got, err := taskgraph.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.path, err)
+		}
+		if got.N() != tc.want.N() || got.EdgeCount() != tc.want.EdgeCount() {
+			t.Fatalf("%s: shape %d/%d, want %d/%d", tc.path, got.N(), got.EdgeCount(), tc.want.N(), tc.want.EdgeCount())
+		}
+		for _, id := range tc.want.TaskIDs() {
+			a, b := tc.want.Task(id), got.Task(id)
+			if b == nil || len(a.Points) != len(b.Points) {
+				t.Fatalf("%s: task %d differs", tc.path, id)
+			}
+			for j := range a.Points {
+				if a.Points[j].Current != b.Points[j].Current || a.Points[j].Time != b.Points[j].Time {
+					t.Fatalf("%s: task %d point %d differs", tc.path, id, j)
+				}
+			}
+		}
+	}
+}
