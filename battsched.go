@@ -35,10 +35,14 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/battery"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/taskgraph"
 )
+
+//go:generate go run ./cmd/taskgen -fixture g2 -o testdata/g2.json
+//go:generate go run ./cmd/taskgen -fixture g3 -o testdata/g3.json
 
 // Graph is an immutable task graph; build one with Builder.
 type Graph = taskgraph.Graph
@@ -182,6 +186,30 @@ func RunMultiStart(g *Graph, deadline float64, opt Options, ms MultiStartOptions
 		return nil, err
 	}
 	return core.RunMultiStart(s, ms)
+}
+
+// BatchJob is one request of a batch: a graph, a deadline and a strategy
+// name (iterative, multistart, withidle, rv-dp, chowdhury, all-fastest,
+// lowest-power; empty means iterative).
+type BatchJob = engine.Job
+
+// BatchResult is the outcome of one BatchJob, with a per-job Err instead
+// of a batch-wide failure.
+type BatchResult = engine.Result
+
+// BatchEngine executes batches of scheduling jobs over a bounded worker
+// pool; the zero value bounds the pool at GOMAXPROCS.
+type BatchEngine = engine.Engine
+
+// BatchStrategies returns the canonical strategy names RunBatch accepts.
+func BatchStrategies() []string { return engine.Strategies() }
+
+// RunBatch schedules every job over a pool of `workers` goroutines
+// (0 means GOMAXPROCS) and returns one result per job, in input order.
+// Failures land in BatchResult.Err; RunBatch itself never fails, and its
+// output is byte-deterministic for a fixed batch regardless of workers.
+func RunBatch(jobs []BatchJob, workers int) []BatchResult {
+	return engine.RunBatch(jobs, workers)
 }
 
 // RunWithIdle runs the iterative algorithm and then spends the remaining

@@ -160,6 +160,31 @@ func TestFacadeMultiStart(t *testing.T) {
 	}
 }
 
+func TestFacadeRunBatch(t *testing.T) {
+	jobs := []battsched.BatchJob{
+		{Name: "iter", Graph: battsched.G3(), Deadline: battsched.G3Deadline},
+		{Name: "ms", Graph: battsched.G2(), Deadline: 75, Strategy: "multistart",
+			MultiStart: battsched.MultiStartOptions{Restarts: 4, Seed: 1, Workers: 4}},
+		{Name: "bad", Graph: battsched.G3(), Deadline: 1},
+	}
+	results := battsched.RunBatch(jobs, 0)
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results, want %d", len(results), len(jobs))
+	}
+	if results[0].Err != nil || results[1].Err != nil {
+		t.Fatalf("good jobs failed: %v / %v", results[0].Err, results[1].Err)
+	}
+	if results[0].Cost <= 0 || results[1].Cost <= 0 {
+		t.Fatal("non-positive batch costs")
+	}
+	if !errors.Is(results[2].Err, battsched.ErrDeadlineInfeasible) {
+		t.Fatalf("bad job error = %v", results[2].Err)
+	}
+	if len(battsched.BatchStrategies()) < 7 {
+		t.Fatalf("strategies = %v", battsched.BatchStrategies())
+	}
+}
+
 func TestFacadeFitAndModels(t *testing.T) {
 	m := battsched.NewRakhmatov(0.3)
 	var obs []battsched.Observation

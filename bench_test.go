@@ -13,6 +13,7 @@ package battsched_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	battsched "repro"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/battery"
 	"repro/internal/core"
 	"repro/internal/dvs"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/sim"
 	"repro/internal/taskgraph"
@@ -360,6 +362,55 @@ func BenchmarkMultiStart(b *testing.B) {
 		if _, err := core.RunMultiStart(s, core.MultiStartOptions{Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMultiStartParallel compares sequential multi-start against
+// the concurrent restart fan-out on G3 (results are bit-identical; this
+// measures the wall-clock effect — near-linear until restarts < cores).
+func BenchmarkMultiStartParallel(b *testing.B) {
+	g := taskgraph.G3()
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s, err := core.New(g, taskgraph.G3Deadline, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunMultiStart(s, core.MultiStartOptions{Restarts: 32, Seed: 1, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatch pushes a 24-job batch (the six paper graph×deadline
+// cells under four strategies) through the engine at several pool sizes.
+func BenchmarkBatch(b *testing.B) {
+	var jobs []engine.Job
+	for _, strategy := range []string{"iterative", "multistart", "withidle", "rv-dp"} {
+		for _, d := range taskgraph.G2Deadlines {
+			jobs = append(jobs, engine.Job{Graph: taskgraph.G2(), Deadline: d, Strategy: strategy,
+				MultiStart: core.MultiStartOptions{Restarts: 8, Seed: 1, Workers: 1}})
+		}
+		for _, d := range taskgraph.G3Deadlines {
+			jobs = append(jobs, engine.Job{Graph: taskgraph.G3(), Deadline: d, Strategy: strategy,
+				MultiStart: core.MultiStartOptions{Restarts: 8, Seed: 1, Workers: 1}})
+		}
+	}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, r := range engine.RunBatch(jobs, workers) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
 	}
 }
 

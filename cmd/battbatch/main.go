@@ -1,0 +1,215 @@
+// Command battbatch schedules a stream of jobs — one JSON object per
+// line (NDJSON) — over a bounded worker pool and writes one JSON result
+// line per job, in input order. It is the bulk front end to the batch
+// engine: heavy traffic goes through here, one process, all cores.
+//
+// Usage:
+//
+//	battbatch [-in jobs.ndjson] [-out results.ndjson] [-workers 8]
+//	echo '{"fixture":"g3","deadline":230,"strategy":"multistart"}' | battbatch
+//
+// A job line looks like:
+//
+//	{"name":"j1","fixture":"g2","deadline":75,"strategy":"iterative"}
+//	{"name":"j2","graph":{"tasks":[...]},"deadline":40,"strategy":"rv-dp","beta":0.273}
+//	{"name":"j3","fixture":"g3","deadline":230,"strategy":"multistart","restarts":16,"seed":7}
+//
+// `fixture` (g2 | g3) and `graph` (the taskgen/battsched JSON schema,
+// inline) are mutually exclusive. Strategies: iterative (default),
+// multistart, withidle, rv-dp, chowdhury, all-fastest, lowest-power.
+//
+// A result line echoes index/name/strategy and carries either the
+// schedule (order, assignment, cost, duration, energy) or an "error"
+// string; a malformed or infeasible job never aborts the batch. Output
+// is byte-deterministic for a fixed input, whatever -workers is.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/taskgraph"
+)
+
+// jobLine is the JSON schema of one input line.
+type jobLine struct {
+	Name     string          `json:"name,omitempty"`
+	Fixture  string          `json:"fixture,omitempty"`
+	Graph    *taskgraph.Spec `json:"graph,omitempty"`
+	Deadline float64         `json:"deadline"`
+	Strategy string          `json:"strategy,omitempty"`
+	// Beta overrides the Rakhmatov diffusion parameter (0 = paper's).
+	Beta float64 `json:"beta,omitempty"`
+	// Restarts/Seed/RestartWorkers configure the multistart strategy;
+	// RestartWorkers 0 inherits the engine's -workers bound.
+	Restarts       int   `json:"restarts,omitempty"`
+	Seed           int64 `json:"seed,omitempty"`
+	RestartWorkers int   `json:"restart_workers,omitempty"`
+}
+
+// resultLine is the JSON schema of one output line.
+type resultLine struct {
+	Index      int         `json:"index"`
+	Name       string      `json:"name,omitempty"`
+	Strategy   string      `json:"strategy,omitempty"`
+	Cost       float64     `json:"cost,omitempty"`
+	Duration   float64     `json:"duration,omitempty"`
+	Energy     float64     `json:"energy,omitempty"`
+	Iterations int         `json:"iterations,omitempty"`
+	Order      []int       `json:"order,omitempty"`
+	Assignment map[int]int `json:"assignment,omitempty"`
+	IdleTotal  float64     `json:"idle_total,omitempty"`
+	IdleCost   float64     `json:"idle_cost,omitempty"`
+	Error      string      `json:"error,omitempty"`
+}
+
+// toJob converts a parsed line into an engine job.
+func (l jobLine) toJob() (engine.Job, error) {
+	job := engine.Job{
+		Name:     l.Name,
+		Deadline: l.Deadline,
+		Strategy: l.Strategy,
+		Options:  core.Options{Beta: l.Beta},
+		MultiStart: core.MultiStartOptions{
+			Restarts: l.Restarts,
+			Seed:     l.Seed,
+			Workers:  l.RestartWorkers,
+		},
+	}
+	switch {
+	case l.Fixture != "" && l.Graph != nil:
+		return job, fmt.Errorf("job has both \"fixture\" and \"graph\"")
+	case l.Fixture != "":
+		g, _, err := taskgraph.Fixture(l.Fixture)
+		if err != nil {
+			return job, err
+		}
+		job.Graph = g
+	case l.Graph != nil:
+		g, err := taskgraph.FromSpec(*l.Graph)
+		if err != nil {
+			return job, err
+		}
+		job.Graph = g
+	default:
+		return job, fmt.Errorf("job needs a \"fixture\" or an inline \"graph\"")
+	}
+	return job, nil
+}
+
+// run reads NDJSON jobs from r, schedules them over `workers` goroutines
+// and writes NDJSON results to w. It returns the number of failed jobs.
+func run(r io.Reader, w io.Writer, workers int) (failed int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26) // inline graphs can be large
+
+	// Every non-blank input line claims one output slot. A line that
+	// does not parse keeps its slot with a zero-value placeholder job
+	// (which the engine rejects instantly on its nil graph); the parse
+	// error, not the engine's, is what its result line reports.
+	var jobs []engine.Job
+	var parseErrs []error
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var jl jobLine
+		var job engine.Job
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		perr := dec.Decode(&jl)
+		if perr == nil {
+			job, perr = jl.toJob()
+		}
+		jobs = append(jobs, job)
+		parseErrs = append(parseErrs, perr)
+	}
+	if err := sc.Err(); err != nil {
+		return 0, fmt.Errorf("reading jobs: %w", err)
+	}
+
+	results := engine.RunBatch(jobs, workers)
+	enc := json.NewEncoder(w)
+	for i, res := range results {
+		out := resultLine{Index: i, Name: res.Name, Strategy: res.Strategy}
+		switch {
+		case parseErrs[i] != nil:
+			out.Strategy = "" // never ran; don't echo the placeholder default
+			out.Error = parseErrs[i].Error()
+		case res.Err != nil:
+			out.Error = res.Err.Error()
+		default:
+			out.Cost = res.Cost
+			out.Duration = res.Duration
+			out.Energy = res.Energy
+			out.Iterations = res.Iterations
+			out.Order = res.Schedule.Order
+			out.Assignment = res.Schedule.Assignment
+			if res.Idle != nil {
+				out.IdleTotal = res.Idle.TotalIdle()
+				out.IdleCost = res.Idle.Cost
+			}
+		}
+		if out.Error != "" {
+			failed++
+		}
+		if err := enc.Encode(out); err != nil {
+			return failed, fmt.Errorf("writing result %d: %w", i, err)
+		}
+	}
+	return failed, nil
+}
+
+func main() {
+	var (
+		in      = flag.String("in", "", "jobs NDJSON file (default stdin)")
+		out     = flag.String("out", "", "results NDJSON file (default stdout)")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent jobs (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	failed, err := run(r, bw, *workers)
+	if ferr := bw.Flush(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "battbatch: %d job(s) failed (see \"error\" fields)\n", failed)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "battbatch:", err)
+	os.Exit(1)
+}

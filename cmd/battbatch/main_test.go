@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/taskgraph"
+)
+
+// TestRunBatchNDJSON drives the full pipe: fixture jobs, an inline
+// graph, blank lines, a parse error, an infeasible job — results must
+// come back in input order with per-job errors only.
+func TestRunBatchNDJSON(t *testing.T) {
+	var spec bytes.Buffer
+	if err := taskgraph.G2().WriteJSON(&spec, "g2-inline"); err != nil {
+		t.Fatal(err)
+	}
+	inline := strings.ReplaceAll(spec.String(), "\n", "")
+	input := strings.Join([]string{
+		`{"name":"a","fixture":"g3","deadline":230}`,
+		``,
+		`{"name":"b","fixture":"g3","deadline":230,"strategy":"multistart","restarts":4,"seed":9}`,
+		`{"name":"c","graph":` + inline + `,"deadline":75,"strategy":"rv-dp"}`,
+		`this is not json`,
+		`{"name":"e","fixture":"g3","deadline":1}`,
+		`{"name":"f","fixture":"nope","deadline":10}`,
+	}, "\n")
+
+	var out bytes.Buffer
+	failed, err := run(strings.NewReader(input), &out, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 3 {
+		t.Fatalf("failed = %d, want 3", failed)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("got %d result lines, want 6:\n%s", len(lines), out.String())
+	}
+	var results []resultLine
+	for _, l := range lines {
+		var r resultLine
+		if err := json.Unmarshal([]byte(l), &r); err != nil {
+			t.Fatalf("bad result line %q: %v", l, err)
+		}
+		results = append(results, r)
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Fatalf("line %d has index %d", i, r.Index)
+		}
+	}
+	for _, i := range []int{0, 1, 2} {
+		if results[i].Error != "" || results[i].Cost <= 0 || len(results[i].Order) == 0 {
+			t.Fatalf("job %d should succeed: %+v", i, results[i])
+		}
+	}
+	if results[1].Cost > results[0].Cost {
+		t.Fatalf("multistart %.4f worse than iterative %.4f", results[1].Cost, results[0].Cost)
+	}
+	if len(results[2].Order) != taskgraph.G2().N() {
+		t.Fatalf("inline graph scheduled %d tasks, want %d", len(results[2].Order), taskgraph.G2().N())
+	}
+	for _, i := range []int{3, 4, 5} {
+		if results[i].Error == "" || len(results[i].Order) != 0 {
+			t.Fatalf("job %d should fail: %+v", i, results[i])
+		}
+	}
+}
+
+// TestRunDeterministicAcrossWorkers: byte-identical output for any
+// worker count.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	input := `{"fixture":"g2","deadline":55,"strategy":"multistart","restarts":6}
+{"fixture":"g2","deadline":75}
+{"fixture":"g3","deadline":150,"strategy":"withidle"}
+{"fixture":"g3","deadline":230,"strategy":"chowdhury"}
+bad line
+`
+	var ref bytes.Buffer
+	if _, err := run(strings.NewReader(input), &ref, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 7} {
+		var out bytes.Buffer
+		if _, err := run(strings.NewReader(input), &out, workers); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), ref.Bytes()) {
+			t.Fatalf("workers=%d output differs:\nref: %s\ngot: %s", workers, ref.String(), out.String())
+		}
+	}
+}
+
+// TestJobLineValidation covers the fixture/graph exclusivity rules.
+func TestJobLineValidation(t *testing.T) {
+	g := taskgraph.G2().ToSpec("x")
+	for _, tc := range []struct {
+		name string
+		line jobLine
+		ok   bool
+	}{
+		{"fixture", jobLine{Fixture: "g2", Deadline: 75}, true},
+		{"graph", jobLine{Graph: &g, Deadline: 75}, true},
+		{"both", jobLine{Fixture: "g2", Graph: &g, Deadline: 75}, false},
+		{"neither", jobLine{Deadline: 75}, false},
+		{"bad fixture", jobLine{Fixture: "g9", Deadline: 75}, false},
+	} {
+		_, err := tc.line.toJob()
+		if (err == nil) != tc.ok {
+			t.Fatalf("%s: err = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}

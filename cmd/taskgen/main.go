@@ -9,6 +9,13 @@
 //	taskgen -shape chain -n 10 -m 3 > g.json
 //	taskgen -shape sp -n 15 -m 4 > g.json
 //	taskgen -shape random -n 12 -p 0.3 -m 4 > g.json
+//
+// With -fixture it instead emits one of the paper's built-in graphs
+// verbatim (this is how testdata/g2.json and testdata/g3.json are
+// regenerated; see the go:generate directives in battsched.go):
+//
+//	taskgen -fixture g2 -o testdata/g2.json
+//	taskgen -fixture g3 -o testdata/g3.json
 package main
 
 import (
@@ -86,6 +93,9 @@ func buildGraph(cfg genConfig) (*taskgraph.Graph, error) {
 
 func main() {
 	var cfg genConfig
+	var fixture, outPath string
+	flag.StringVar(&fixture, "fixture", "", "emit a built-in paper graph instead of generating: g2 | g3")
+	flag.StringVar(&outPath, "o", "", "write to this file instead of stdout")
 	flag.StringVar(&cfg.shape, "shape", "forkjoin", "graph shape: chain | forkjoin | layered | sp | random")
 	flag.IntVar(&cfg.n, "n", 12, "task count (chain, sp, random)")
 	flag.IntVar(&cfg.width, "width", 4, "fork-join branch count")
@@ -103,11 +113,30 @@ func main() {
 	flag.Float64Var(&cfg.tHi, "thi", 12, "reference time high (min)")
 	flag.Parse()
 
-	g, err := buildGraph(cfg)
+	var (
+		g    *taskgraph.Graph
+		name string
+		err  error
+	)
+	if fixture != "" {
+		g, name, err = taskgraph.Fixture(fixture)
+	} else {
+		name = fmt.Sprintf("%s-%d", cfg.shape, cfg.seed)
+		g, err = buildGraph(cfg)
+	}
 	if err != nil {
 		fatal(err)
 	}
-	if err := g.WriteJSON(os.Stdout, fmt.Sprintf("%s-%d", cfg.shape, cfg.seed)); err != nil {
+	out := os.Stdout
+	if outPath != "" {
+		f, cerr := os.Create(outPath)
+		if cerr != nil {
+			fatal(cerr)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := g.WriteJSON(out, name); err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "taskgen: %s\n", g.Analyze(0))

@@ -4,6 +4,11 @@ package battery
 // battery. Implementations differ in how they account for the rate-capacity
 // effect (high currents waste capacity) and the recovery effect (rest
 // periods restore some of it).
+//
+// The schedulers may evaluate a model from several goroutines at once
+// (parallel window sweeps, concurrent multi-start restarts, batch
+// engine jobs), so implementations must be safe for concurrent
+// ChargeLost calls; every model in this package is a stateless value.
 type Model interface {
 	// ChargeLost returns sigma(at): the apparent charge (mA·min) the
 	// battery has lost by time `at` under profile p. For nonlinear

@@ -159,6 +159,13 @@ func (r DPFColumnRule) String() string {
 	}
 }
 
+// ResolvedModel returns the battery model the scheduler will cost
+// schedules with after defaulting: Model if set, otherwise a Rakhmatov
+// model from Beta/SeriesTerms (paper values when zero). Callers costing
+// schedules outside the scheduler (baselines, reports) should use this
+// so their numbers cannot drift from the iterative run's.
+func (o Options) ResolvedModel() battery.Model { return o.withDefaults().Model }
+
 func (o Options) withDefaults() Options {
 	if o.Beta == 0 {
 		o.Beta = battery.DefaultBeta

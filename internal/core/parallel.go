@@ -80,6 +80,16 @@ type MultiStartOptions struct {
 	Restarts int
 	// Seed makes the randomized starts reproducible.
 	Seed int64
+	// Workers bounds how many restarts run concurrently. 0 or 1 keeps
+	// the sequential path; larger values fan the restarts out over
+	// goroutines sharing the (read-only during a run) Scheduler, which
+	// requires the battery model to tolerate concurrent ChargeLost
+	// calls (all internal/battery models do; a stateful custom
+	// Options.Model must synchronize itself or keep Workers <= 1).
+	// The result is bit-identical for every Workers value: the restart
+	// weight vectors are pre-drawn from one RNG stream and the winner
+	// is reduced over seed index, never completion order.
+	Workers int
 }
 
 // RunMultiStart runs the paper's algorithm once from its deterministic
@@ -91,21 +101,65 @@ func RunMultiStart(s *Scheduler, opts MultiStartOptions) (*Result, error) {
 	if opts.Restarts <= 0 {
 		opts.Restarts = 8
 	}
-	best, err := s.Run()
-	if err != nil {
-		return nil, err
-	}
+	// Pre-draw every restart's weight vector from a single stream so the
+	// restart set does not depend on Workers or on goroutine timing.
 	rng := rand.New(rand.NewSource(opts.Seed))
-	for r := 0; r < opts.Restarts; r++ {
+	weights := make([][]float64, opts.Restarts)
+	for r := range weights {
 		w := make([]float64, s.n)
 		for i := range w {
 			w[i] = rng.Float64()
 		}
-		L := s.listSchedule(w)
-		res, err := s.runFrom(L)
+		weights[r] = w
+	}
+
+	if opts.Workers <= 1 {
+		best, err := s.Run()
 		if err != nil {
 			return nil, err
 		}
+		for _, w := range weights {
+			res, err := s.runFrom(s.listSchedule(w))
+			if err != nil {
+				return nil, err
+			}
+			if res.Cost < best.Cost {
+				best = res
+			}
+		}
+		return best, nil
+	}
+
+	// Slot 0 is the deterministic run; slot r+1 is restart r. All runs
+	// share s, which is immutable while running — every run clones its
+	// mutable state (sequence, best-so-far, DPF scratch) locally.
+	results := make([]*Result, opts.Restarts+1)
+	errs := make([]error, opts.Restarts+1)
+	sem := make(chan struct{}, opts.Workers)
+	var wg sync.WaitGroup
+	for slot := 0; slot < len(results); slot++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(slot int) {
+			defer func() { <-sem; wg.Done() }()
+			if slot == 0 {
+				results[0], errs[0] = s.Run()
+				return
+			}
+			results[slot], errs[slot] = s.runFrom(s.listSchedule(weights[slot-1]))
+		}(slot)
+	}
+	wg.Wait()
+	// Deterministic reduction: first error by slot, else first
+	// strict improvement by slot — exactly the sequential loop's
+	// selection.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	best := results[0]
+	for _, res := range results[1:] {
 		if res.Cost < best.Cost {
 			best = res
 		}

@@ -38,8 +38,11 @@ type Result struct {
 }
 
 // Scheduler runs the paper's algorithm for one task graph and deadline.
-// Create it with New; a Scheduler is safe for repeated Run calls but not
-// for concurrent use.
+// Create it with New. All Scheduler state is immutable after New, so a
+// Scheduler is safe for repeated and for concurrent Run calls (the
+// restart fan-out of RunMultiStart relies on this) — provided the
+// battery model is safe for concurrent ChargeLost calls, which every
+// model in internal/battery is (they are stateless values).
 type Scheduler struct {
 	g        *taskgraph.Graph
 	deadline float64

@@ -1,0 +1,165 @@
+// Package engine executes batches of scheduling jobs over a bounded
+// worker pool. It is the throughput layer of the reproduction: the
+// paper's algorithm schedules one graph against one deadline, while a
+// production host receives a stream of independent (graph, deadline,
+// strategy) jobs and wants them finished as fast as the cores allow.
+//
+// Jobs are independent, so the engine fans them out across Workers
+// goroutines; results come back in input order with per-job errors —
+// one malformed or infeasible job never fails the batch. Inside a
+// multi-start job the restarts themselves run concurrently (see
+// core.MultiStartOptions.Workers); when a job leaves that fan-out
+// unset the engine splits its worker bound between the two levels, so
+// total concurrency stays near the bound for any batch shape.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// Job is one scheduling request: a graph, a deadline and a strategy.
+type Job struct {
+	// Name optionally labels the job; it is echoed in the Result.
+	Name string
+	// Graph is the task graph to schedule (required).
+	Graph *taskgraph.Graph
+	// Deadline is the completion deadline in minutes (required, > 0).
+	Deadline float64
+	// Strategy selects the algorithm; "" means StrategyIterative. See
+	// Strategies for the accepted names.
+	Strategy string
+	// Options configures the iterative strategies (the zero value is
+	// the paper's configuration) and supplies the battery model used
+	// to cost baseline schedules.
+	Options core.Options
+	// MultiStart configures StrategyMultiStart. A zero Workers shares
+	// the engine's bound with the job level (a lone job fans its
+	// restarts over the whole pool; a full batch keeps them
+	// sequential), so total concurrency never exceeds roughly the
+	// engine bound.
+	MultiStart core.MultiStartOptions
+}
+
+// Result is the outcome of one Job. Exactly one of Schedule/Err is nil.
+type Result struct {
+	// Index is the job's position in the input batch.
+	Index int
+	// Name echoes Job.Name.
+	Name string
+	// Strategy is the canonical strategy name that ran.
+	Strategy string
+	// Schedule is the schedule found (nil on error).
+	Schedule *sched.Schedule
+	// Cost is sigma at completion under the job's battery model, mA·min.
+	Cost float64
+	// Duration is the schedule completion time, minutes.
+	Duration float64
+	// Energy is the delivered charge, mA·min.
+	Energy float64
+	// Iterations is the outer-loop iteration count (iterative
+	// strategies only).
+	Iterations int
+	// Idle is the recovery-rest plan (StrategyWithIdle only).
+	Idle *core.IdlePlan
+	// Err is the per-job failure, nil on success.
+	Err error
+}
+
+// Engine runs batches over a bounded worker pool. The zero value is
+// ready to use and bounds the pool at GOMAXPROCS.
+type Engine struct {
+	// Workers bounds concurrent jobs; 0 means GOMAXPROCS(0).
+	Workers int
+}
+
+// ErrNilGraph is returned for jobs without a graph.
+var ErrNilGraph = errors.New("engine: job has a nil graph")
+
+// workers resolves the pool bound.
+func (e *Engine) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunBatch executes every job and returns one Result per job, in input
+// order. Job failures (bad strategy, infeasible deadline, nil graph, a
+// panicking model) land in Result.Err; RunBatch itself never fails.
+func RunBatch(jobs []Job, workers int) []Result {
+	e := Engine{Workers: workers}
+	return e.RunBatch(jobs)
+}
+
+// RunBatch executes every job over the engine's pool and returns one
+// Result per job, in input order.
+func (e *Engine) RunBatch(jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	bound := e.workers()
+	workers := bound
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Multistart jobs that did not pin their own restart fan-out share
+	// the engine bound with the job level: a lone job gets the whole
+	// pool for its restarts, a full batch keeps restarts sequential, so
+	// total concurrency stays ~bound instead of bound².
+	restartWorkers := bound / workers
+	if restartWorkers < 1 {
+		restartWorkers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = e.runJob(i, jobs[i], restartWorkers)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// runJob executes one job, converting panics into per-job errors so a
+// misbehaving custom battery model cannot take the batch down.
+func (e *Engine) runJob(i int, job Job, restartWorkers int) (res Result) {
+	res = Result{Index: i, Name: job.Name}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("engine: job %d panicked: %v", i, r)
+			res.Schedule = nil
+		}
+	}()
+	strategy, err := CanonicalStrategy(job.Strategy)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Strategy = strategy
+	if job.Graph == nil {
+		res.Err = ErrNilGraph
+		return res
+	}
+	res.Err = e.execute(strategy, job, &res, restartWorkers)
+	if res.Err != nil {
+		res.Schedule = nil
+	}
+	return res
+}

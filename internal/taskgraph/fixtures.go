@@ -1,5 +1,10 @@
 package taskgraph
 
+import (
+	"fmt"
+	"strings"
+)
+
 // This file hard-codes the two benchmark task graphs the paper evaluates.
 //
 // G3 (Table 1): a 15-task fork-join graph with five design points per task.
@@ -112,6 +117,20 @@ func G2() *Graph {
 		b.AddEdge(e[0], e[1])
 	}
 	return b.MustBuild()
+}
+
+// Fixture returns the built-in paper graph with the given name ("g2" or
+// "g3", case-insensitive) and the canonical spelling of the name. It is
+// the single registry every CLI resolves fixture names through.
+func Fixture(name string) (*Graph, string, error) {
+	switch strings.ToLower(name) {
+	case "g2":
+		return G2(), "g2", nil
+	case "g3":
+		return G3(), "g3", nil
+	default:
+		return nil, "", fmt.Errorf("taskgraph: unknown fixture %q (want g2 or g3)", name)
+	}
 }
 
 // G2Deadlines are the deadlines (minutes) Table 4 evaluates G2 at.

@@ -147,3 +147,21 @@ func TestG3EnergyRange(t *testing.T) {
 		t.Errorf("CurrentRange = %g..%g, want 14..938", lo, hi)
 	}
 }
+
+func TestFixtureRegistry(t *testing.T) {
+	for name, wantN := range map[string]int{"g2": 9, "G2": 9, "g3": 15, "G3": 15} {
+		g, canonical, err := Fixture(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.N() != wantN {
+			t.Fatalf("%s: %d tasks, want %d", name, g.N(), wantN)
+		}
+		if canonical != "g2" && canonical != "g3" {
+			t.Fatalf("%s: canonical name %q", name, canonical)
+		}
+	}
+	if _, _, err := Fixture("g9"); err == nil {
+		t.Fatal("unknown fixture should error")
+	}
+}

@@ -59,6 +59,27 @@ func TestReadJSONRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestReadJSONRejectsBadStructure covers the remaining ReadJSON failure
+// paths: truncated documents, edges naming tasks that do not exist,
+// tasks with no design points, duplicate IDs and precedence cycles.
+func TestReadJSONRejectsBadStructure(t *testing.T) {
+	for name, doc := range map[string]string{
+		"truncated":        `{"tasks":[{"id":1,`,
+		"wrong type":       `{"tasks":[{"id":"one","points":[{"current":1,"time":1}]}]}`,
+		"unknown parent":   `{"tasks":[{"id":1,"points":[{"current":1,"time":1}]},{"id":2,"points":[{"current":1,"time":1}],"parents":[99]}]}`,
+		"no points":        `{"tasks":[{"id":1,"points":[]}]}`,
+		"missing points":   `{"tasks":[{"id":1}]}`,
+		"duplicate id":     `{"tasks":[{"id":1,"points":[{"current":1,"time":1}]},{"id":1,"points":[{"current":1,"time":1}]}]}`,
+		"cycle":            `{"tasks":[{"id":1,"points":[{"current":1,"time":1}],"parents":[2]},{"id":2,"points":[{"current":1,"time":1}],"parents":[1]}]}`,
+		"negative current": `{"tasks":[{"id":1,"points":[{"current":-5,"time":1}]}]}`,
+		"zero time":        `{"tasks":[{"id":1,"points":[{"current":5,"time":0}]}]}`,
+	} {
+		if _, err := ReadJSON(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: want error, got none", name)
+		}
+	}
+}
+
 func TestFromSpecNamesDefault(t *testing.T) {
 	g, err := FromSpec(Spec{Tasks: []TaskSpec{{ID: 7, Points: []PointSpec{{Current: 1, Time: 1}}}}})
 	if err != nil {
