@@ -27,6 +27,12 @@
 // example); cmd/paperrepro regenerates every table of the paper's
 // evaluation from them.
 //
+// Beyond single runs, RunBatch fans independent jobs over a worker pool,
+// and RunCached/RunBatchCached put a content-addressed result cache in
+// front of the engine for repeated-request workloads; cmd/battschedd
+// serves the same engine and cache over HTTP (see ARCHITECTURE.md and
+// docs/API.md).
+//
 // This facade re-exports the stable surface of the internal packages;
 // units everywhere are milliamperes, minutes and mA·min.
 package battsched
@@ -34,6 +40,7 @@ package battsched
 import (
 	"repro/internal/baseline"
 	"repro/internal/battery"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/sched"
@@ -210,6 +217,57 @@ func BatchStrategies() []string { return engine.Strategies() }
 // output is byte-deterministic for a fixed batch regardless of workers.
 func RunBatch(jobs []BatchJob, workers int) []BatchResult {
 	return engine.RunBatch(jobs, workers)
+}
+
+// Cache is a bounded, concurrency-safe LRU of scheduling results keyed
+// by a canonical content hash of (graph, deadline, strategy, options,
+// multi-start config), with single-flight deduplication: identical
+// concurrent requests compute once. Create one with NewCache and share
+// it across RunCached/RunBatchCached calls (and goroutines) — that
+// sharing is the point.
+type Cache = cache.Cache
+
+// CacheStats is a point-in-time snapshot of a Cache's hit/miss/dedup/
+// eviction counters.
+type CacheStats = cache.Stats
+
+// NewCache returns an empty result cache bounded at maxEntries (0 means
+// a 1024-entry default).
+func NewCache(maxEntries int) *Cache { return cache.New(maxEntries) }
+
+// RunCached is Run behind a result cache: a repeated (graph, deadline,
+// options) triple answers from memory, and identical concurrent calls
+// compute once. Results are deep copies, so callers may mutate them
+// freely. A nil cache, a custom Options.Model (no canonical content to
+// hash) or Options.RecordTrace (the trace is not cached) all fall back
+// to a plain Run.
+func RunCached(c *Cache, g *Graph, deadline float64, opt Options) (*Result, error) {
+	if c == nil || opt.Model != nil || opt.RecordTrace {
+		return Run(g, deadline, opt)
+	}
+	ce := cache.Engine{Cache: c, Workers: 1}
+	res, _ := ce.Run(engine.Job{Graph: g, Deadline: deadline, Options: opt})
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	return &Result{
+		Schedule:   res.Schedule,
+		Cost:       res.Cost,
+		Duration:   res.Duration,
+		Energy:     res.Energy,
+		Iterations: res.Iterations,
+	}, nil
+}
+
+// RunBatchCached is RunBatch behind a result cache: repeated jobs —
+// within the batch or across batches sharing the cache — are answered
+// from memory, and identical jobs in flight at the same time compute
+// once. The results are identical to RunBatch's for any workers value
+// and any cache state.
+func RunBatchCached(c *Cache, jobs []BatchJob, workers int) []BatchResult {
+	ce := cache.Engine{Cache: c, Workers: workers}
+	results, _ := ce.RunBatch(jobs)
+	return results
 }
 
 // RunWithIdle runs the iterative algorithm and then spends the remaining

@@ -1,11 +1,13 @@
 // Command battbatch schedules a stream of jobs — one JSON object per
 // line (NDJSON) — over a bounded worker pool and writes one JSON result
 // line per job, in input order. It is the bulk front end to the batch
-// engine: heavy traffic goes through here, one process, all cores.
+// engine: heavy traffic goes through here, one process, all cores. The
+// battschedd daemon serves the same wire schema over HTTP (see
+// docs/API.md).
 //
 // Usage:
 //
-//	battbatch [-in jobs.ndjson] [-out results.ndjson] [-workers 8]
+//	battbatch [-in jobs.ndjson] [-out results.ndjson] [-workers 8] [-cache 0]
 //	echo '{"fixture":"g3","deadline":230,"strategy":"multistart"}' | battbatch
 //
 // A job line looks like:
@@ -17,16 +19,21 @@
 // `fixture` (g2 | g3) and `graph` (the taskgen/battsched JSON schema,
 // inline) are mutually exclusive. Strategies: iterative (default),
 // multistart, withidle, rv-dp, chowdhury, all-fastest, lowest-power.
+// Jobs are validated at decode time: NaN/Inf or non-positive deadlines,
+// negative currents and unknown fields are rejected with an error
+// naming the field, before any scheduling work starts.
 //
 // A result line echoes index/name/strategy and carries either the
 // schedule (order, assignment, cost, duration, energy) or an "error"
 // string; a malformed or infeasible job never aborts the batch. Output
 // is byte-deterministic for a fixed input, whatever -workers is.
+// `-cache n` deduplicates repeated jobs within the batch through an
+// n-entry result cache (0 disables it; the output bytes are identical
+// either way, only wall-clock time changes).
 package main
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -34,131 +41,29 @@ import (
 	"os"
 	"runtime"
 
-	"repro/internal/core"
-	"repro/internal/engine"
-	"repro/internal/taskgraph"
+	"repro/internal/cache"
+	"repro/internal/wire"
 )
 
-// jobLine is the JSON schema of one input line.
-type jobLine struct {
-	Name     string          `json:"name,omitempty"`
-	Fixture  string          `json:"fixture,omitempty"`
-	Graph    *taskgraph.Spec `json:"graph,omitempty"`
-	Deadline float64         `json:"deadline"`
-	Strategy string          `json:"strategy,omitempty"`
-	// Beta overrides the Rakhmatov diffusion parameter (0 = paper's).
-	Beta float64 `json:"beta,omitempty"`
-	// Restarts/Seed/RestartWorkers configure the multistart strategy;
-	// RestartWorkers 0 inherits the engine's -workers bound.
-	Restarts       int   `json:"restarts,omitempty"`
-	Seed           int64 `json:"seed,omitempty"`
-	RestartWorkers int   `json:"restart_workers,omitempty"`
-}
-
-// resultLine is the JSON schema of one output line.
-type resultLine struct {
-	Index      int         `json:"index"`
-	Name       string      `json:"name,omitempty"`
-	Strategy   string      `json:"strategy,omitempty"`
-	Cost       float64     `json:"cost,omitempty"`
-	Duration   float64     `json:"duration,omitempty"`
-	Energy     float64     `json:"energy,omitempty"`
-	Iterations int         `json:"iterations,omitempty"`
-	Order      []int       `json:"order,omitempty"`
-	Assignment map[int]int `json:"assignment,omitempty"`
-	IdleTotal  float64     `json:"idle_total,omitempty"`
-	IdleCost   float64     `json:"idle_cost,omitempty"`
-	Error      string      `json:"error,omitempty"`
-}
-
-// toJob converts a parsed line into an engine job.
-func (l jobLine) toJob() (engine.Job, error) {
-	job := engine.Job{
-		Name:     l.Name,
-		Deadline: l.Deadline,
-		Strategy: l.Strategy,
-		Options:  core.Options{Beta: l.Beta},
-		MultiStart: core.MultiStartOptions{
-			Restarts: l.Restarts,
-			Seed:     l.Seed,
-			Workers:  l.RestartWorkers,
-		},
-	}
-	switch {
-	case l.Fixture != "" && l.Graph != nil:
-		return job, fmt.Errorf("job has both \"fixture\" and \"graph\"")
-	case l.Fixture != "":
-		g, _, err := taskgraph.Fixture(l.Fixture)
-		if err != nil {
-			return job, err
-		}
-		job.Graph = g
-	case l.Graph != nil:
-		g, err := taskgraph.FromSpec(*l.Graph)
-		if err != nil {
-			return job, err
-		}
-		job.Graph = g
-	default:
-		return job, fmt.Errorf("job needs a \"fixture\" or an inline \"graph\"")
-	}
-	return job, nil
-}
-
 // run reads NDJSON jobs from r, schedules them over `workers` goroutines
+// (through a cacheEntries-bounded result cache when cacheEntries > 0)
 // and writes NDJSON results to w. It returns the number of failed jobs.
-func run(r io.Reader, w io.Writer, workers int) (failed int, err error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<26) // inline graphs can be large
-
-	// Every non-blank input line claims one output slot. A line that
-	// does not parse keeps its slot with a zero-value placeholder job
-	// (which the engine rejects instantly on its nil graph); the parse
-	// error, not the engine's, is what its result line reports.
-	var jobs []engine.Job
-	var parseErrs []error
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
-		}
-		var jl jobLine
-		var job engine.Job
-		dec := json.NewDecoder(bytes.NewReader(line))
-		dec.DisallowUnknownFields()
-		perr := dec.Decode(&jl)
-		if perr == nil {
-			job, perr = jl.toJob()
-		}
-		jobs = append(jobs, job)
-		parseErrs = append(parseErrs, perr)
-	}
-	if err := sc.Err(); err != nil {
-		return 0, fmt.Errorf("reading jobs: %w", err)
+func run(r io.Reader, w io.Writer, workers, cacheEntries int) (failed int, err error) {
+	// One output slot per non-blank input line; a line that fails to
+	// decode keeps its slot and reports its own error (see
+	// wire.DecodeJobs).
+	jobs, names, parseErrs, err := wire.DecodeJobs(r)
+	if err != nil {
+		return 0, err
 	}
 
-	results := engine.RunBatch(jobs, workers)
+	ce := cache.Engine{Workers: workers}
+	if cacheEntries > 0 {
+		ce.Cache = cache.New(cacheEntries)
+	}
+	results, _ := ce.RunBatch(jobs)
 	enc := json.NewEncoder(w)
-	for i, res := range results {
-		out := resultLine{Index: i, Name: res.Name, Strategy: res.Strategy}
-		switch {
-		case parseErrs[i] != nil:
-			out.Strategy = "" // never ran; don't echo the placeholder default
-			out.Error = parseErrs[i].Error()
-		case res.Err != nil:
-			out.Error = res.Err.Error()
-		default:
-			out.Cost = res.Cost
-			out.Duration = res.Duration
-			out.Energy = res.Energy
-			out.Iterations = res.Iterations
-			out.Order = res.Schedule.Order
-			out.Assignment = res.Schedule.Assignment
-			if res.Idle != nil {
-				out.IdleTotal = res.Idle.TotalIdle()
-				out.IdleCost = res.Idle.Cost
-			}
-		}
+	for i, out := range wire.Results(results, names, parseErrs) {
 		if out.Error != "" {
 			failed++
 		}
@@ -171,9 +76,10 @@ func run(r io.Reader, w io.Writer, workers int) (failed int, err error) {
 
 func main() {
 	var (
-		in      = flag.String("in", "", "jobs NDJSON file (default stdin)")
-		out     = flag.String("out", "", "results NDJSON file (default stdout)")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent jobs (0 = GOMAXPROCS)")
+		in           = flag.String("in", "", "jobs NDJSON file (default stdin)")
+		out          = flag.String("out", "", "results NDJSON file (default stdout)")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent jobs (0 = GOMAXPROCS)")
+		cacheEntries = flag.Int("cache", 0, "dedupe repeated jobs through an n-entry result cache (0 = off)")
 	)
 	flag.Parse()
 
@@ -196,7 +102,7 @@ func main() {
 		w = f
 	}
 	bw := bufio.NewWriter(w)
-	failed, err := run(r, bw, *workers)
+	failed, err := run(r, bw, *workers, *cacheEntries)
 	if ferr := bw.Flush(); err == nil {
 		err = ferr
 	}

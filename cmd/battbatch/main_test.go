@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/taskgraph"
+	"repro/internal/wire"
 )
 
 // TestRunBatchNDJSON drives the full pipe: fixture jobs, an inline
@@ -29,7 +30,7 @@ func TestRunBatchNDJSON(t *testing.T) {
 	}, "\n")
 
 	var out bytes.Buffer
-	failed, err := run(strings.NewReader(input), &out, 4)
+	failed, err := run(strings.NewReader(input), &out, 4, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,9 +41,9 @@ func TestRunBatchNDJSON(t *testing.T) {
 	if len(lines) != 6 {
 		t.Fatalf("got %d result lines, want 6:\n%s", len(lines), out.String())
 	}
-	var results []resultLine
+	var results []wire.Result
 	for _, l := range lines {
-		var r resultLine
+		var r wire.Result
 		if err := json.Unmarshal([]byte(l), &r); err != nil {
 			t.Fatalf("bad result line %q: %v", l, err)
 		}
@@ -72,44 +73,90 @@ func TestRunBatchNDJSON(t *testing.T) {
 }
 
 // TestRunDeterministicAcrossWorkers: byte-identical output for any
-// worker count.
+// worker count, with and without the result cache.
 func TestRunDeterministicAcrossWorkers(t *testing.T) {
 	input := `{"fixture":"g2","deadline":55,"strategy":"multistart","restarts":6}
 {"fixture":"g2","deadline":75}
 {"fixture":"g3","deadline":150,"strategy":"withidle"}
+{"fixture":"g2","deadline":75}
 {"fixture":"g3","deadline":230,"strategy":"chowdhury"}
 bad line
 `
 	var ref bytes.Buffer
-	if _, err := run(strings.NewReader(input), &ref, 1); err != nil {
+	if _, err := run(strings.NewReader(input), &ref, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	for _, workers := range []int{2, 7} {
+	for _, tc := range []struct{ workers, cache int }{
+		{2, 0}, {7, 0}, {1, 64}, {4, 64},
+	} {
 		var out bytes.Buffer
-		if _, err := run(strings.NewReader(input), &out, workers); err != nil {
+		if _, err := run(strings.NewReader(input), &out, tc.workers, tc.cache); err != nil {
 			t.Fatal(err)
 		}
 		if !bytes.Equal(out.Bytes(), ref.Bytes()) {
-			t.Fatalf("workers=%d output differs:\nref: %s\ngot: %s", workers, ref.String(), out.String())
+			t.Fatalf("workers=%d cache=%d output differs:\nref: %s\ngot: %s",
+				tc.workers, tc.cache, ref.String(), out.String())
 		}
 	}
 }
 
-// TestJobLineValidation covers the fixture/graph exclusivity rules.
-func TestJobLineValidation(t *testing.T) {
+// TestRejectsBadNumbersAtDecodeTime is the decode gate: NaN/Inf
+// deadlines, negative currents and malformed JSON each produce a
+// per-line error naming the problem, and never reach the engine.
+func TestRejectsBadNumbersAtDecodeTime(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		line string
+		want string // substring of the "error" field
+	}{
+		{"malformed json", `{{{{`, "invalid character"},
+		{"NaN deadline", `{"fixture":"g3","deadline":NaN}`, "invalid character"},
+		{"Infinity deadline", `{"fixture":"g3","deadline":Infinity}`, "invalid character"},
+		{"zero deadline", `{"fixture":"g3","deadline":0}`, "must be positive"},
+		{"negative deadline", `{"fixture":"g3","deadline":-3}`, "must be positive"},
+		{"negative current", `{"graph":{"tasks":[{"id":1,"points":[{"current":-5,"time":1}]}]},"deadline":5}`, "current must be"},
+		{"non-positive time", `{"graph":{"tasks":[{"id":1,"points":[{"current":5,"time":0}]}]},"deadline":5}`, "time must be"},
+		{"trailing data", `{"fixture":"g3","deadline":230} trailing`, "trailing data"},
+		{"negative beta", `{"fixture":"g3","deadline":230,"beta":-1}`, "\"beta\" must be"},
+		{"unknown field", `{"fixture":"g3","deadline":230,"dedline":5}`, "unknown field"},
+	} {
+		var out bytes.Buffer
+		failed, err := run(strings.NewReader(tc.line), &out, 1, 0)
+		if err != nil {
+			t.Fatalf("%s: run error %v", tc.name, err)
+		}
+		if failed != 1 {
+			t.Fatalf("%s: failed = %d, want 1", tc.name, failed)
+		}
+		var res wire.Result
+		if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+			t.Fatalf("%s: bad result line %q: %v", tc.name, out.String(), err)
+		}
+		if !strings.Contains(res.Error, tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, res.Error, tc.want)
+		}
+		if res.Order != nil || res.Cost != 0 {
+			t.Fatalf("%s: job must not have run: %+v", tc.name, res)
+		}
+	}
+}
+
+// TestJobValidationRules covers the fixture/graph exclusivity rules on
+// the shared wire schema.
+func TestJobValidationRules(t *testing.T) {
 	g := taskgraph.G2().ToSpec("x")
 	for _, tc := range []struct {
 		name string
-		line jobLine
+		job  wire.Job
 		ok   bool
 	}{
-		{"fixture", jobLine{Fixture: "g2", Deadline: 75}, true},
-		{"graph", jobLine{Graph: &g, Deadline: 75}, true},
-		{"both", jobLine{Fixture: "g2", Graph: &g, Deadline: 75}, false},
-		{"neither", jobLine{Deadline: 75}, false},
-		{"bad fixture", jobLine{Fixture: "g9", Deadline: 75}, false},
+		{"fixture", wire.Job{Fixture: "g2", Deadline: 75}, true},
+		{"graph", wire.Job{Graph: &g, Deadline: 75}, true},
+		{"both", wire.Job{Fixture: "g2", Graph: &g, Deadline: 75}, false},
+		{"neither", wire.Job{Deadline: 75}, false},
+		{"bad fixture", wire.Job{Fixture: "g9", Deadline: 75}, false},
 	} {
-		_, err := tc.line.toJob()
+		_, err := tc.job.ToEngine()
 		if (err == nil) != tc.ok {
 			t.Fatalf("%s: err = %v, want ok=%v", tc.name, err, tc.ok)
 		}

@@ -1,0 +1,109 @@
+// Command battschedd is the scheduling daemon: a long-running HTTP
+// server over the battery-aware scheduling engine with a
+// content-addressed result cache, so a stream of repeated (graph,
+// deadline, strategy) requests answers from memory instead of re-running
+// the iterative search.
+//
+// Usage:
+//
+//	battschedd [-addr :8347] [-workers 0] [-max-inflight 0] [-cache 1024] [-quiet]
+//
+//	curl -s localhost:8347/v1/schedule -d '{"fixture":"g3","deadline":230}'
+//	curl -s localhost:8347/v1/batch --data-binary @jobs.ndjson
+//	curl -s localhost:8347/v1/fixtures
+//	curl -s localhost:8347/metrics
+//
+// Endpoints, wire schemas and curl walk-throughs are documented in
+// docs/API.md; request bodies are exactly battbatch's NDJSON job lines.
+// The daemon writes one structured (JSON) access-log line per request
+// to stderr (suppress with -quiet) and shuts down gracefully on SIGINT
+// or SIGTERM, finishing in-flight requests first.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+// shutdownGrace bounds how long a graceful shutdown waits for in-flight
+// requests before the process exits anyway.
+const shutdownGrace = 10 * time.Second
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8347", "listen address")
+		workers     = flag.Int("workers", 0, "concurrent scheduling jobs per request (0 = GOMAXPROCS)")
+		maxInflight = flag.Int("max-inflight", 0, "concurrent scheduling requests (0 = 2*GOMAXPROCS)")
+		cacheSize   = flag.Int("cache", 1024, "result cache entries (0 disables caching)")
+		quiet       = flag.Bool("quiet", false, "suppress per-request access logs")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "", 0)
+	cfg := server.Config{
+		Workers:     *workers,
+		MaxInFlight: *maxInflight,
+		// The flag follows battbatch's convention (0 = caching off);
+		// Config uses 0 = default, negative = off.
+		CacheEntries: *cacheSize,
+	}
+	if *cacheSize == 0 {
+		cfg.CacheEntries = -1
+	}
+	if !*quiet {
+		cfg.AccessLog = logger
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("battschedd: %v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	logger.Printf("battschedd: listening on %s", l.Addr())
+	if err := serve(ctx, l, server.New(cfg), logger); err != nil {
+		logger.Fatalf("battschedd: %v", err)
+	}
+}
+
+// serve runs the HTTP server on l until it fails or ctx is cancelled,
+// then drains in-flight requests for up to shutdownGrace (requests
+// still queued for capacity fail fast via s.Close, so only running work
+// holds the drain open). It returns nil on a clean shutdown.
+func serve(ctx context.Context, l net.Listener, s *server.Server, logger *log.Logger) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+
+	select {
+	case err := <-errc:
+		return fmt.Errorf("serving: %w", err)
+	case <-ctx.Done():
+	}
+	logger.Printf("battschedd: shutting down (draining up to %s)", shutdownGrace)
+	s.Close()
+	drainCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestServeAndGracefulShutdown boots the daemon's serve loop on an
+// ephemeral port, schedules over it, then cancels the context and
+// expects a clean drain: the in-flight request completes and serve
+// returns nil.
+func TestServeAndGracefulShutdown(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	logger := log.New(io.Discard, "", 0)
+	s := server.New(server.Config{})
+
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, l, s, logger) }()
+
+	base := "http://" + l.Addr().String()
+	resp, err := http.Post(base+"/v1/schedule", "application/json",
+		strings.NewReader(`{"fixture":"g2","deadline":75}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule over the daemon: status %d: %s", resp.StatusCode, body)
+	}
+	var res struct {
+		Cost  float64 `json:"cost"`
+		Order []int   `json:"order"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil || res.Cost <= 0 || len(res.Order) != 9 {
+		t.Fatalf("implausible schedule response: %s (%v)", body, err)
+	}
+
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after cancellation")
+	}
+
+	// The listener is really closed: new connections must fail.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after shutdown")
+	}
+}

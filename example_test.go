@@ -71,6 +71,59 @@ func ExampleRunWithIdle() {
 	// sigma reduced: true
 }
 
+// ExampleRunCached runs the same request twice through a result cache:
+// the second call is answered from memory (a hit) with the identical
+// schedule — the amortization battschedd serves over HTTP.
+func ExampleRunCached() {
+	c := battsched.NewCache(0) // 0 = default 1024-entry bound
+	g := battsched.G3()
+
+	first, err := battsched.RunCached(c, g, 230, battsched.Options{})
+	if err != nil {
+		panic(err)
+	}
+	second, err := battsched.RunCached(c, g, 230, battsched.Options{})
+	if err != nil {
+		panic(err)
+	}
+
+	st := c.Stats()
+	fmt.Printf("misses %d, hits %d\n", st.Misses, st.Hits)
+	fmt.Println("identical cost:", first.Cost == second.Cost)
+	// Output:
+	// misses 1, hits 1
+	// identical cost: true
+}
+
+// ExampleRunBatchCached pushes a batch with repeated jobs through a
+// shared cache: duplicates compute once, and the results are identical
+// to RunBatch's.
+func ExampleRunBatchCached() {
+	c := battsched.NewCache(0)
+	jobs := []battsched.BatchJob{
+		{Name: "a", Graph: battsched.G3(), Deadline: 230},
+		{Name: "duplicate-of-a", Graph: battsched.G3(), Deadline: 230},
+		{Name: "b", Graph: battsched.G2(), Deadline: 75},
+	}
+	results := battsched.RunBatchCached(c, jobs, 1)
+	for _, r := range results {
+		if r.Err != nil {
+			panic(r.Err)
+		}
+	}
+	fmt.Println("same cost:", results[0].Cost == results[1].Cost)
+
+	// A second batch over the same cache answers entirely from memory.
+	again := battsched.RunBatchCached(c, jobs, 2)
+	st := c.Stats()
+	fmt.Printf("computed %d unique jobs for %d requests\n", st.Misses, st.Misses+st.Hits+st.Dedups)
+	fmt.Println("stable:", again[2].Cost == results[2].Cost)
+	// Output:
+	// same cost: true
+	// computed 2 unique jobs for 6 requests
+	// stable: true
+}
+
 // ExampleRunBaselineRV compares the paper's algorithm with the
 // reference-[1] baseline on the paper's G3 benchmark.
 func ExampleRunBaselineRV() {

@@ -1,0 +1,209 @@
+// Package cache memoizes scheduling results behind a content-addressed
+// key, turning the batch engine into a serving layer: a production host
+// sees streams of repeated (graph, deadline, strategy) requests, and
+// every algorithm in this repository is deterministic, so an identical
+// request can be answered from memory instead of re-running the
+// iterative search and its thousands of Rakhmatov–Vrudhula battery-cost
+// evaluations.
+//
+// The package has two halves:
+//
+//   - Cache: a bounded, concurrency-safe LRU from canonical content
+//     hash (see Key) to engine.Result, with single-flight deduplication —
+//     identical requests arriving concurrently compute once and share
+//     the result.
+//   - Engine: a drop-in cached counterpart of engine.Engine. Its
+//     RunBatch has the same ordering, per-job-error and determinism
+//     guarantees as the uncached engine; only wall-clock time changes.
+//
+// Stored results are canonical (request identity stripped) and
+// immutable: lookups return deep copies, so callers can mutate what
+// they get back without corrupting the cache. Per-job errors are cached
+// too — a deterministic failure (infeasible deadline, unknown strategy)
+// costs the engine only once.
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// DefaultMaxEntries bounds a Cache created with New(0). A cached result
+// is a schedule plus a few scalars — roughly proportional to the task
+// count — so the default is sized for tens of MB at worst, not for a
+// memory budget that needs tuning.
+const DefaultMaxEntries = 1024
+
+// Cache is a bounded LRU of canonical scheduling results, safe for
+// concurrent use. The zero value is not ready; use New.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List               // front = most recently used
+	entries map[string]*list.Element // key -> element whose Value is *entry
+	flights map[string]*flight       // keys being computed right now
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	dedups    atomic.Uint64
+	evictions atomic.Uint64
+	bypasses  atomic.Uint64
+}
+
+// entry is one stored result; it lives in both ll and entries.
+type entry struct {
+	key string
+	res engine.Result
+}
+
+// flight is one in-progress computation; waiters block on done and then
+// read res (the close of done publishes the write).
+type flight struct {
+	done chan struct{}
+	res  engine.Result
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts lookups served from a stored entry.
+	Hits uint64 `json:"hits"`
+	// Misses counts lookups that had to compute.
+	Misses uint64 `json:"misses"`
+	// Dedups counts lookups that piggybacked on a concurrent identical
+	// computation (single-flight) instead of computing their own.
+	Dedups uint64 `json:"dedups"`
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions uint64 `json:"evictions"`
+	// Bypasses counts requests that were not cacheable (custom battery
+	// model, nil graph, unknown strategy) and went straight to the
+	// engine.
+	Bypasses uint64 `json:"bypasses"`
+	// Entries is the current number of stored results.
+	Entries int `json:"entries"`
+}
+
+// New returns an empty cache bounded at maxEntries results (0 means
+// DefaultMaxEntries).
+func New(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	return &Cache{
+		max:     maxEntries,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+		flights: make(map[string]*flight),
+	}
+}
+
+// Do returns the cached result for key, computing it with compute on a
+// miss. Concurrent calls with the same key compute once: the first
+// caller runs compute, the rest wait and share its result. The returned
+// bool reports whether the call was served without running compute
+// itself (a stored hit or a single-flight dedup). The result is a deep
+// copy — mutating it cannot corrupt the cache. compute must be
+// deterministic for the key and must not panic (engine.RunBatch already
+// converts job panics into per-job errors).
+func (c *Cache) Do(key string, compute func() engine.Result) (engine.Result, bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		res := el.Value.(*entry).res
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return cloneResult(res), true
+	}
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		c.dedups.Add(1)
+		return cloneResult(f.res), true
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	res := compute()
+	// Strip the per-request identity so the stored canon serves any
+	// later request regardless of its position or name; front ends
+	// re-attach both (see Engine.Run).
+	res.Index, res.Name = 0, ""
+	f.res = res
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.store(key, res)
+	c.mu.Unlock()
+	close(f.done)
+	return cloneResult(res), false
+}
+
+// Get returns the stored result for key without computing anything.
+func (c *Cache) Get(key string) (engine.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return engine.Result{}, false
+	}
+	c.ll.MoveToFront(el)
+	return cloneResult(el.Value.(*entry).res), true
+}
+
+// store inserts (or refreshes) key under the LRU bound. Caller holds mu.
+func (c *Cache) store(key string, res engine.Result) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*entry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&entry{key: key, res: res})
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.entries, back.Value.(*entry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the number of stored results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Dedups:    c.dedups.Load(),
+		Evictions: c.evictions.Load(),
+		Bypasses:  c.bypasses.Load(),
+		Entries:   c.Len(),
+	}
+}
+
+// cloneResult deep-copies the pointer-typed fields of a result so cache
+// canon and caller never alias. Err is shared (errors are immutable by
+// convention).
+func cloneResult(r engine.Result) engine.Result {
+	if r.Schedule != nil {
+		r.Schedule = r.Schedule.Clone()
+	}
+	if r.Idle != nil {
+		cp := core.IdlePlan{
+			After:    append([]float64(nil), r.Idle.After...),
+			Cost:     r.Idle.Cost,
+			BaseCost: r.Idle.BaseCost,
+		}
+		r.Idle = &cp
+	}
+	return r
+}

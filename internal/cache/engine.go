@@ -1,0 +1,130 @@
+package cache
+
+import (
+	"runtime"
+
+	"repro/internal/engine"
+)
+
+// Engine is the cached counterpart of engine.Engine: same worker-pool
+// batch execution, same ordering and per-job-error guarantees, but
+// every cacheable job is answered through the Cache — a repeat is a
+// lookup, and identical jobs in flight at the same time (within one
+// batch or across concurrent batches) compute once.
+//
+// A nil Cache degrades to pass-through execution, so callers can make
+// caching a flag without branching.
+type Engine struct {
+	// Cache holds the results; nil disables caching.
+	Cache *Cache
+	// Workers bounds concurrent jobs; 0 means GOMAXPROCS(0).
+	Workers int
+	// Gate, when non-nil, globally bounds concurrent scheduling work
+	// across every Run/RunBatch call sharing it — cache hits bypass it.
+	// A server handling many requests, each with its own worker pool,
+	// uses one shared Gate so total scheduling concurrency stays near
+	// the gate's capacity instead of requests × Workers. A gated
+	// computation also sizes its multistart restart fan-out by the idle
+	// gate capacity it can claim (overriding Job.MultiStart.Workers,
+	// which is result-neutral), so the bound holds through the restart
+	// level too.
+	Gate chan struct{}
+}
+
+// workers resolves the pool bound.
+func (e *Engine) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes one job through the cache and reports whether it was
+// served without computing (stored hit or single-flight dedup). The
+// result carries the job's Name and Index 0.
+func (e *Engine) Run(job engine.Job) (engine.Result, bool) {
+	// A lone job may fan its multistart restarts over the whole pool,
+	// mirroring engine.RunBatch's bound-splitting for a one-job batch.
+	res, hit := e.run(job, e.workers())
+	res.Index, res.Name = 0, job.Name
+	return res, hit
+}
+
+// RunBatch executes every job over the engine's pool and returns one
+// result per job in input order, plus a parallel slice reporting which
+// were served from cache. Output results are identical to
+// engine.RunBatch's for any Workers value and any cache state — the
+// pool and its bound-splitting live in engine.RunEach, shared by both.
+func (e *Engine) RunBatch(jobs []engine.Job) ([]engine.Result, []bool) {
+	results := make([]engine.Result, len(jobs))
+	hits := make([]bool, len(jobs))
+	pool := engine.Engine{Workers: e.Workers}
+	pool.RunEach(len(jobs), func(i, restartWorkers int) {
+		res, hit := e.run(jobs[i], restartWorkers)
+		res.Index, res.Name = i, jobs[i].Name
+		results[i], hits[i] = res, hit
+	})
+	return results, hits
+}
+
+// run executes one job: cache lookup/single-flight when cacheable,
+// direct engine execution otherwise.
+func (e *Engine) run(job engine.Job, restartWorkers int) (engine.Result, bool) {
+	if e.Cache == nil {
+		return e.compute(job, restartWorkers), false
+	}
+	key, ok := Key(job)
+	if !ok {
+		e.Cache.bypasses.Add(1)
+		return e.compute(job, restartWorkers), false
+	}
+	return e.Cache.Do(key, func() engine.Result {
+		return e.compute(job, restartWorkers)
+	})
+}
+
+// compute runs the job on the uncached engine as a one-job batch,
+// pinning the multistart fan-out first so a single-job engine batch
+// cannot collapse it to 1.
+//
+// Under a Gate, the computation blocks for one slot and then widens its
+// restart fan-out only with whatever idle capacity it can claim without
+// waiting — so a lone request on an idle server still fans out fully,
+// while concurrent requests each hold ~one slot and run their restarts
+// sequentially. Total scheduling goroutines stay at ~cap(Gate) instead
+// of requests × restartWorkers; since restart fan-out is result-neutral
+// (bit-identical for any Workers), clamping it here changes wall-clock
+// only.
+func (e *Engine) compute(job engine.Job, restartWorkers int) engine.Result {
+	if e.Gate != nil {
+		e.Gate <- struct{}{}
+		held := 1
+		// Only a multistart job can use extra slots (every other
+		// strategy runs one goroutine), so only it widens — a greedy
+		// claim here would serialize concurrent cheap requests behind
+		// one holder of the whole gate.
+		if s, err := engine.CanonicalStrategy(job.Strategy); err == nil && s == engine.StrategyMultiStart {
+			for held < restartWorkers {
+				gotSlot := false
+				select {
+				case e.Gate <- struct{}{}:
+					gotSlot = true
+				default:
+				}
+				if !gotSlot {
+					break
+				}
+				held++
+			}
+			job.MultiStart.Workers = held
+		}
+		defer func() {
+			for i := 0; i < held; i++ {
+				<-e.Gate
+			}
+		}()
+	} else if job.MultiStart.Workers == 0 {
+		job.MultiStart.Workers = restartWorkers
+	}
+	return engine.RunBatch([]engine.Job{job}, 1)[0]
+}

@@ -1,0 +1,145 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/taskgraph"
+)
+
+// keyVersion namespaces the hash so a future change to the canonical
+// encoding cannot collide with results stored under the old one.
+const keyVersion = "battsched-cache-v1"
+
+// Key returns the canonical content hash of a job — the cache address of
+// its result — and whether the job is cacheable at all.
+//
+// The key covers everything that determines the result: the graph
+// content (tasks in ID order with their design points and sorted parent
+// sets), the deadline, the canonical strategy name, every
+// result-affecting Options field, and (for the multistart strategy) the
+// restart count and seed. Fields are hashed at their resolved defaults
+// (core.Options.Canonical, core.DefaultRestarts), so a request spelling
+// out a default and one leaving it zero share an entry.
+//
+// Deliberately excluded because they are result-neutral: Job.Name (a
+// label), Options.Parallel and MultiStart.Workers (both documented
+// bit-identical to their sequential paths), Options.RecordTrace (the
+// trace never reaches an engine.Result), and MultiStart for
+// non-multistart strategies. Excluding them means a request answers
+// from cache however the caller tuned its concurrency.
+//
+// Not cacheable (ok = false): a nil graph, an unknown strategy (the
+// engine's error is cheaper than hashing), and a custom Options.Model —
+// an opaque interface value has no canonical content to hash.
+//
+// Key derivation is the whole cost of a cache hit, so it hashes the
+// graph directly (no Spec marshaling) through a reused buffer.
+func Key(job engine.Job) (key string, ok bool) {
+	if job.Graph == nil || job.Options.Model != nil {
+		return "", false
+	}
+	strategy, err := engine.CanonicalStrategy(job.Strategy)
+	if err != nil {
+		return "", false
+	}
+	k := keyHasher{h: sha256.New()}
+	k.str(keyVersion)
+	k.str(strategy)
+	k.f64(job.Deadline)
+
+	// Hash the resolved defaults, not the raw zero values, so a zero
+	// field and its explicit default ({"strategy":"multistart"} vs
+	// "restarts":8, beta 0 vs 0.273) land on the same entry.
+	o := job.Options.Canonical()
+	k.f64(o.Beta)
+	k.ints(o.SeriesTerms, int(o.InitialOrder), o.MaxIterations,
+		int(o.Factors), int(o.Windows), int(o.DPFColumns), boolBit(o.DisableResequencing))
+
+	if strategy == engine.StrategyMultiStart {
+		restarts := job.MultiStart.Restarts
+		if restarts <= 0 {
+			restarts = core.DefaultRestarts
+		}
+		k.ints(restarts)
+		k.i64(job.MultiStart.Seed)
+	}
+
+	k.graph(job.Graph)
+	return hex.EncodeToString(k.h.Sum(nil)), true
+}
+
+// keyHasher wraps the hash with a reused scratch buffer so the hot
+// fixed-width writes do not allocate.
+type keyHasher struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+// str writes s length-prefixed so adjacent fields cannot melt into each
+// other.
+func (k *keyHasher) str(s string) {
+	k.i64(int64(len(s)))
+	io.WriteString(k.h, s)
+}
+
+// f64 writes the exact bit pattern (distinguishes -0/+0 and every NaN
+// payload; exactness matters more than normalization here).
+func (k *keyHasher) f64(v float64) {
+	binary.LittleEndian.PutUint64(k.buf[:], math.Float64bits(v))
+	k.h.Write(k.buf[:])
+}
+
+func (k *keyHasher) i64(v int64) {
+	binary.LittleEndian.PutUint64(k.buf[:], uint64(v))
+	k.h.Write(k.buf[:])
+}
+
+func (k *keyHasher) ints(vs ...int) {
+	for _, v := range vs {
+		k.i64(int64(v))
+	}
+}
+
+// graph hashes the graph content canonically: tasks in ascending ID
+// order (whatever order they were added in), each with its name, its
+// validated ascending-time design points and its sorted parent IDs.
+func (k *keyHasher) graph(g *taskgraph.Graph) {
+	n := g.N()
+	ids := make([]int, n)
+	for i := 0; i < n; i++ {
+		ids[i] = g.IDAt(i)
+	}
+	sort.Ints(ids)
+	k.ints(n)
+	for _, id := range ids {
+		t := g.Task(id)
+		k.ints(id)
+		k.str(t.Name)
+		k.ints(len(t.Points))
+		for _, p := range t.Points {
+			k.f64(p.Current)
+			k.f64(p.Time)
+			k.f64(p.Voltage)
+			k.str(p.Name)
+		}
+		parents := g.Parents(id)
+		sort.Ints(parents)
+		k.ints(len(parents))
+		k.ints(parents...)
+	}
+}
+
+func boolBit(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

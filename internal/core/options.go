@@ -159,6 +159,10 @@ func (r DPFColumnRule) String() string {
 	}
 }
 
+// DefaultMaxIterations is the improvement-loop safety cap used when
+// Options.MaxIterations is zero.
+const DefaultMaxIterations = 100
+
 // ResolvedModel returns the battery model the scheduler will cost
 // schedules with after defaulting: Model if set, otherwise a Rakhmatov
 // model from Beta/SeriesTerms (paper values when zero). Callers costing
@@ -166,21 +170,31 @@ func (r DPFColumnRule) String() string {
 // so their numbers cannot drift from the iterative run's.
 func (o Options) ResolvedModel() battery.Model { return o.withDefaults().Model }
 
-func (o Options) withDefaults() Options {
+// Canonical returns a copy of o with every result-affecting scalar
+// field resolved to the value the scheduler will actually use (Beta,
+// SeriesTerms, MaxIterations, Factors), leaving Model untouched. It is
+// the form content-addressed caches hash, so a zero field and its
+// explicit default produce the same key.
+func (o Options) Canonical() Options {
 	if o.Beta == 0 {
 		o.Beta = battery.DefaultBeta
 	}
 	if o.SeriesTerms == 0 {
 		o.SeriesTerms = battery.DefaultTerms
 	}
-	if o.Model == nil {
-		o.Model = battery.Rakhmatov{Beta: o.Beta, Terms: o.SeriesTerms}
-	}
 	if o.MaxIterations == 0 {
-		o.MaxIterations = 100
+		o.MaxIterations = DefaultMaxIterations
 	}
 	if o.Factors == 0 {
 		o.Factors = AllFactors
+	}
+	return o
+}
+
+func (o Options) withDefaults() Options {
+	o = o.Canonical()
+	if o.Model == nil {
+		o.Model = battery.Rakhmatov{Beta: o.Beta, Terms: o.SeriesTerms}
 	}
 	return o
 }

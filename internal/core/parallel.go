@@ -72,11 +72,16 @@ func (s *Scheduler) evaluateWindowsParallel(L []int) (bestAssign []int, bestCost
 	return bestAssign, bestCost, windows
 }
 
+// DefaultRestarts is the restart count used when
+// MultiStartOptions.Restarts is zero or negative.
+const DefaultRestarts = 8
+
 // MultiStartOptions configures RunMultiStart.
 type MultiStartOptions struct {
 	// Restarts is the number of additional runs from randomized
-	// initial sequences (default 8). The deterministic paper run is
-	// always included, so the result can never be worse than Run's.
+	// initial sequences (default DefaultRestarts). The deterministic
+	// paper run is always included, so the result can never be worse
+	// than Run's.
 	Restarts int
 	// Seed makes the randomized starts reproducible.
 	Seed int64
@@ -99,7 +104,7 @@ type MultiStartOptions struct {
 // algorithm.
 func RunMultiStart(s *Scheduler, opts MultiStartOptions) (*Result, error) {
 	if opts.Restarts <= 0 {
-		opts.Restarts = 8
+		opts.Restarts = DefaultRestarts
 	}
 	// Pre-draw every restart's weight vector from a single stream so the
 	// restart set does not depend on Workers or on goroutine timing.

@@ -102,18 +102,31 @@ func RunBatch(jobs []Job, workers int) []Result {
 // Result per job, in input order.
 func (e *Engine) RunBatch(jobs []Job) []Result {
 	results := make([]Result, len(jobs))
+	e.RunEach(len(jobs), func(i, restartWorkers int) {
+		results[i] = e.runJob(i, jobs[i], restartWorkers)
+	})
+	return results
+}
+
+// RunEach runs fn(i, restartWorkers) for every i in [0, n) over the
+// engine's bounded pool. It owns the pool arithmetic every batch runner
+// must agree on — exported so the cached engine (internal/cache) shares
+// it instead of copying it:
+//
+// Multistart jobs that did not pin their own restart fan-out share the
+// engine bound with the job level — restartWorkers is bound/workers, so
+// a lone job gets the whole pool for its restarts while a full batch
+// keeps restarts sequential, and total concurrency stays ~bound instead
+// of bound².
+func (e *Engine) RunEach(n int, fn func(i, restartWorkers int)) {
 	bound := e.workers()
 	workers := bound
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > n {
+		workers = n
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	// Multistart jobs that did not pin their own restart fan-out share
-	// the engine bound with the job level: a lone job gets the whole
-	// pool for its restarts, a full batch keeps restarts sequential, so
-	// total concurrency stays ~bound instead of bound².
 	restartWorkers := bound / workers
 	if restartWorkers < 1 {
 		restartWorkers = 1
@@ -125,16 +138,15 @@ func (e *Engine) RunBatch(jobs []Job) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = e.runJob(i, jobs[i], restartWorkers)
+				fn(i, restartWorkers)
 			}
 		}()
 	}
-	for i := range jobs {
+	for i := 0; i < n; i++ {
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
-	return results
 }
 
 // runJob executes one job, converting panics into per-job errors so a

@@ -1,0 +1,388 @@
+// Package server turns the scheduling library into an HTTP service: the
+// request-handling layer behind cmd/battschedd. It decodes and validates
+// wire.Job requests, bounds how many scheduling computations run at
+// once, executes them through the cache-backed engine (repeat requests
+// answer from memory, identical concurrent requests compute once) and
+// encodes wire.Result responses.
+//
+// Endpoints (full wire schemas and curl examples in docs/API.md):
+//
+//	POST /v1/schedule   one job in, one result out (JSON)
+//	POST /v1/batch      NDJSON job stream in, in-order NDJSON results out
+//	GET  /v1/fixtures   the built-in benchmark graph registry
+//	GET  /healthz       liveness probe
+//	GET  /metrics       request/cache/in-flight counters (JSON)
+//
+// Everything on the hot path is deterministic, so the service inherits
+// the engine's guarantee: a batch's result bytes do not depend on the
+// worker count, the concurrency limit or the cache state.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/taskgraph"
+	"repro/internal/wire"
+)
+
+// Config sizes a Server. The zero value is production-usable: GOMAXPROCS
+// workers, 2×GOMAXPROCS in-flight requests, a cache.DefaultMaxEntries
+// LRU and a 16 MB body limit.
+type Config struct {
+	// Workers bounds concurrent scheduling jobs inside one request
+	// (batch fan-out); 0 means GOMAXPROCS(0).
+	Workers int
+	// MaxInFlight bounds how many requests may run scheduling work
+	// concurrently; excess requests wait (or fail with 503 once their
+	// context is done). 0 means 2×GOMAXPROCS(0).
+	MaxInFlight int
+	// CacheEntries bounds the result LRU; 0 means
+	// cache.DefaultMaxEntries, negative disables caching.
+	CacheEntries int
+	// MaxBodyBytes caps a request body; 0 means 16 MB.
+	MaxBodyBytes int64
+	// MaxBatchJobs caps the job lines one /v1/batch request may carry,
+	// bounding the work a single request can pin the host with (the
+	// same threat the wire restart caps close); 0 means 10000.
+	MaxBatchJobs int
+	// AccessLog, when non-nil, receives one JSON line per request
+	// (method, path, status, bytes, duration).
+	AccessLog *log.Logger
+}
+
+// Server holds the handlers' shared state; create it with New and mount
+// Handler on an http.Server. Call Close when draining so requests
+// queued for capacity fail fast instead of stalling the shutdown.
+type Server struct {
+	cfg       Config
+	cache     *cache.Cache // nil when caching is disabled
+	engine    cache.Engine
+	sem       chan struct{}
+	closed    chan struct{}
+	closeOnce sync.Once
+	start     time.Time
+	metrics   metrics
+}
+
+// metrics are the /metrics counters; all fields are atomics so handlers
+// never contend on them.
+type metrics struct {
+	schedule atomic.Uint64 // POST /v1/schedule requests
+	batch    atomic.Uint64 // POST /v1/batch requests
+	fixtures atomic.Uint64 // GET /v1/fixtures requests
+	health   atomic.Uint64 // GET /healthz requests
+	metrics  atomic.Uint64 // GET /metrics requests
+	errors   atomic.Uint64 // responses with status >= 400
+	rejected atomic.Uint64 // 503s from the in-flight limiter
+	jobs     atomic.Uint64 // scheduling jobs executed or served from cache
+	inFlight atomic.Int64  // requests currently holding an in-flight slot
+}
+
+// New builds a server from the config.
+func New(cfg Config) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 16 << 20
+	}
+	if cfg.MaxBatchJobs <= 0 {
+		cfg.MaxBatchJobs = 10000
+	}
+	s := &Server{
+		cfg:    cfg,
+		sem:    make(chan struct{}, cfg.MaxInFlight),
+		closed: make(chan struct{}),
+		start:  time.Now(),
+	}
+	if cfg.CacheEntries >= 0 {
+		s.cache = cache.New(cfg.CacheEntries)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// One computation gate shared by every request: per-request pools
+	// give a lone batch full parallelism, while the gate keeps total
+	// scheduling concurrency at `workers` instead of
+	// MaxInFlight × workers when many requests land at once (cache
+	// hits bypass it).
+	s.engine = cache.Engine{
+		Cache:   s.cache,
+		Workers: cfg.Workers,
+		Gate:    make(chan struct{}, workers),
+	}
+	return s
+}
+
+// Close marks the server as draining: requests waiting for an in-flight
+// slot get an immediate 503 instead of blocking graceful shutdown until
+// their clients give up. In-flight work is unaffected. Safe to call
+// more than once.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.closed) })
+}
+
+// Cache exposes the result cache (nil when disabled), mainly for tests
+// and for embedding servers that want to inspect Stats.
+func (s *Server) Cache() *cache.Cache { return s.cache }
+
+// Handler returns the routed handler, wrapped with the access logger.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/fixtures", s.handleFixtures)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.accessLog(mux)
+}
+
+// acquire takes an in-flight slot, giving up when the request dies or
+// the server starts draining first. It reports whether the slot was
+// taken; the caller must release on true.
+func (s *Server) acquire(r *http.Request) bool {
+	select {
+	case s.sem <- struct{}{}:
+		s.metrics.inFlight.Add(1)
+		return true
+	case <-r.Context().Done():
+		s.metrics.rejected.Add(1)
+		return false
+	case <-s.closed:
+		s.metrics.rejected.Add(1)
+		return false
+	}
+}
+
+func (s *Server) release() {
+	s.metrics.inFlight.Add(-1)
+	<-s.sem
+}
+
+// handleSchedule runs one job: wire.Job body in, wire.Result body out.
+// Decode and validation failures are 400s, scheduling failures
+// (infeasible deadline, …) are 422s with the same error envelope, and a
+// served result carries an X-Cache: hit|miss header.
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	s.metrics.schedule.Add(1)
+	body, err := s.readBody(w, r)
+	if err != nil {
+		s.writeError(w, bodyErrorStatus(err), err)
+		return
+	}
+	job, err := wire.DecodeJob(body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ejob, err := job.ToEngine()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !s.acquire(r) {
+		s.writeError(w, http.StatusServiceUnavailable, errors.New("server: shutting down or request cancelled while waiting for capacity"))
+		return
+	}
+	defer s.release()
+
+	res, hit := s.engine.Run(ejob)
+	s.metrics.jobs.Add(1)
+	out := wire.FromEngine(0, res)
+	w.Header().Set("Content-Type", "application/json")
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	if res.Err != nil {
+		s.metrics.errors.Add(1)
+		w.WriteHeader(http.StatusUnprocessableEntity)
+	}
+	json.NewEncoder(w).Encode(out)
+}
+
+// handleBatch streams NDJSON jobs in and NDJSON results out, in input
+// order. Per-line failures (parse errors, infeasible jobs) land in that
+// line's result; the response itself is always 200 once streaming
+// starts — exactly battbatch's contract over HTTP.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.metrics.batch.Add(1)
+	body, err := s.readBody(w, r)
+	if err != nil {
+		s.writeError(w, bodyErrorStatus(err), err)
+		return
+	}
+
+	// One result slot per non-blank line; a line that fails to decode
+	// keeps its slot and reports its own error (see wire.DecodeJobs).
+	jobs, names, parseErrs, err := wire.DecodeJobs(bytes.NewReader(body))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(jobs) > s.cfg.MaxBatchJobs {
+		s.writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("server: batch has %d jobs, limit is %d", len(jobs), s.cfg.MaxBatchJobs))
+		return
+	}
+	if !s.acquire(r) {
+		s.writeError(w, http.StatusServiceUnavailable, errors.New("server: shutting down or request cancelled while waiting for capacity"))
+		return
+	}
+	defer s.release()
+
+	results, hits := s.engine.RunBatch(jobs)
+	s.metrics.jobs.Add(uint64(len(jobs)))
+	hitCount := 0
+	for _, h := range hits {
+		if h {
+			hitCount++
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Cache-Hits", fmt.Sprintf("%d/%d", hitCount, len(jobs)))
+	enc := json.NewEncoder(w)
+	for _, out := range wire.Results(results, names, parseErrs) {
+		if err := enc.Encode(out); err != nil {
+			return // client went away mid-stream; nothing to salvage
+		}
+	}
+}
+
+// handleFixtures serves the shared built-in graph registry.
+func (s *Server) handleFixtures(w http.ResponseWriter, r *http.Request) {
+	s.metrics.fixtures.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(taskgraph.FixtureInfos())
+}
+
+// handleHealthz is the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.metrics.health.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// MetricsSnapshot is the /metrics response body.
+type MetricsSnapshot struct {
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Requests      map[string]uint64 `json:"requests"`
+	ErrorCount    uint64            `json:"error_responses"`
+	Rejected      uint64            `json:"rejected"`
+	JobsTotal     uint64            `json:"jobs_total"`
+	InFlight      int64             `json:"in_flight"`
+	MaxInFlight   int               `json:"max_in_flight"`
+	Cache         *cache.Stats      `json:"cache,omitempty"`
+}
+
+// Metrics snapshots the counters (also what GET /metrics serves).
+func (s *Server) Metrics() MetricsSnapshot {
+	snap := MetricsSnapshot{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests: map[string]uint64{
+			"schedule": s.metrics.schedule.Load(),
+			"batch":    s.metrics.batch.Load(),
+			"fixtures": s.metrics.fixtures.Load(),
+			"healthz":  s.metrics.health.Load(),
+			"metrics":  s.metrics.metrics.Load(),
+		},
+		ErrorCount:  s.metrics.errors.Load(),
+		Rejected:    s.metrics.rejected.Load(),
+		JobsTotal:   s.metrics.jobs.Load(),
+		InFlight:    s.metrics.inFlight.Load(),
+		MaxInFlight: s.cfg.MaxInFlight,
+	}
+	if s.cache != nil {
+		st := s.cache.Stats()
+		snap.Cache = &st
+	}
+	return snap
+}
+
+// handleMetrics serves the counter snapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.metrics.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Metrics())
+}
+
+// bodyErrorStatus maps body-read failures to a status: an over-limit
+// body is the client's fault in a specific way (413), everything else a
+// plain 400.
+func bodyErrorStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// readBody reads a size-capped request body.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	defer r.Body.Close()
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+}
+
+// writeError sends the JSON error envelope shared by every endpoint.
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.metrics.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// statusWriter captures the status code and byte count for access logs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += n
+	return n, err
+}
+
+// accessLog wraps next with one structured (JSON) log line per request.
+func (s *Server) accessLog(next http.Handler) http.Handler {
+	if s.cfg.AccessLog == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		begin := time.Now()
+		next.ServeHTTP(sw, r)
+		line, _ := json.Marshal(map[string]any{
+			"time":        begin.UTC().Format(time.RFC3339Nano),
+			"method":      r.Method,
+			"path":        r.URL.Path,
+			"status":      sw.status,
+			"bytes":       sw.bytes,
+			"duration_ms": float64(time.Since(begin).Microseconds()) / 1000,
+			"remote":      r.RemoteAddr,
+		})
+		s.cfg.AccessLog.Println(string(line))
+	})
+}

@@ -133,6 +133,44 @@ func Fixture(name string) (*Graph, string, error) {
 	}
 }
 
+// FixtureInfo describes one built-in benchmark graph for discovery
+// surfaces (battschedd's GET /v1/fixtures, CLI help).
+type FixtureInfo struct {
+	// Name is the canonical fixture name accepted wherever a job takes
+	// a "fixture" field.
+	Name string `json:"name"`
+	// Tasks and DesignPoints give the graph's size (every task has the
+	// same number of design points).
+	Tasks        int `json:"tasks"`
+	DesignPoints int `json:"design_points"`
+	// Deadlines are the deadlines (minutes) the paper evaluates the
+	// graph at.
+	Deadlines []float64 `json:"deadlines"`
+	// Description says where in the paper the graph comes from.
+	Description string `json:"description"`
+}
+
+// FixtureInfos returns the registry of built-in graphs, in canonical
+// name order. The Deadlines slices are fresh copies.
+func FixtureInfos() []FixtureInfo {
+	return []FixtureInfo{
+		{
+			Name:         "g2",
+			Tasks:        len(g2Data),
+			DesignPoints: 4,
+			Deadlines:    append([]float64(nil), G2Deadlines...),
+			Description:  "robotic arm controller case study (Figure 5)",
+		},
+		{
+			Name:         "g3",
+			Tasks:        len(g3Data),
+			DesignPoints: 5,
+			Deadlines:    append([]float64(nil), G3Deadlines...),
+			Description:  "15-task fork-join illustrative example (Table 1)",
+		},
+	}
+}
+
 // G2Deadlines are the deadlines (minutes) Table 4 evaluates G2 at.
 var G2Deadlines = []float64{55, 75, 95}
 

@@ -13,6 +13,7 @@ package taskgraph
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -114,7 +115,8 @@ func (b *Builder) AddEdge(parentID, childID int) *Builder {
 
 // Build validates the accumulated tasks and edges and returns the graph.
 // Validation enforces: at least one task; unique task IDs; every task has
-// at least one design point with positive time and non-negative current;
+// at least one design point with finite positive time and finite
+// non-negative current (NaN and ±Inf are rejected);
 // points sortable into ascending-time order with non-increasing currents;
 // edge endpoints exist; no self-edges; no cycles.
 func (b *Builder) Build() (*Graph, error) {
@@ -138,11 +140,14 @@ func (b *Builder) Build() (*Graph, error) {
 		pts := append([]DesignPoint(nil), t.Points...)
 		sort.SliceStable(pts, func(a, c int) bool { return pts[a].Time < pts[c].Time })
 		for j, p := range pts {
-			if p.Time <= 0 {
-				return nil, fmt.Errorf("taskgraph: task %d point %d: non-positive time %g", t.ID, j, p.Time)
+			// The comparisons below are written so NaN fails them too
+			// (NaN <= 0 and NaN < 0 are both false, so `p.Time <= 0`
+			// alone would wave NaN through).
+			if !(p.Time > 0) || math.IsInf(p.Time, 0) {
+				return nil, fmt.Errorf("taskgraph: task %d point %d: time must be finite and positive, got %g", t.ID, j, p.Time)
 			}
-			if p.Current < 0 {
-				return nil, fmt.Errorf("taskgraph: task %d point %d: negative current %g", t.ID, j, p.Current)
+			if !(p.Current >= 0) || math.IsInf(p.Current, 0) {
+				return nil, fmt.Errorf("taskgraph: task %d point %d: current must be finite and non-negative, got %g", t.ID, j, p.Current)
 			}
 			if j > 0 && pts[j].Current > pts[j-1].Current {
 				return nil, fmt.Errorf("taskgraph: task %d: currents not non-increasing with time (point %d: %g mA after %g mA)",

@@ -1,0 +1,270 @@
+// Package wire defines the JSON wire schemas shared by every front end
+// of the batch engine: the battbatch CLI and the battschedd HTTP server
+// both speak exactly this vocabulary, so a job line that works piped
+// into battbatch works verbatim as a battschedd request body (and vice
+// versa), and the two front ends cannot drift apart.
+//
+// A Job is one scheduling request — a graph (by fixture name or inline
+// spec), a deadline, a strategy and its knobs. A Result is one outcome —
+// either a schedule with its battery cost or an "error" string. Units
+// follow the rest of the repository: currents in mA, times and deadlines
+// in minutes, charge in mA·min (see docs/API.md for the full schema
+// reference).
+//
+// Decoding is strict: unknown fields and trailing data are rejected,
+// and non-finite or non-positive numbers (NaN/Inf deadlines, negative
+// currents, …) are caught at decode time — Job.Validate checks the job
+// fields, the taskgraph builder checks inline graph content — with an
+// error naming the offending field, before any scheduling work starts.
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/taskgraph"
+)
+
+// Job is the JSON schema of one scheduling request: one NDJSON line of
+// battbatch / POST /v1/batch, or the whole body of POST /v1/schedule.
+type Job struct {
+	// Name optionally labels the job; it is echoed in the Result.
+	Name string `json:"name,omitempty"`
+	// Fixture names a built-in paper graph (g2 | g3). Mutually
+	// exclusive with Graph; exactly one must be set.
+	Fixture string `json:"fixture,omitempty"`
+	// Graph is an inline task graph in the taskgen/battsched JSON
+	// schema.
+	Graph *taskgraph.Spec `json:"graph,omitempty"`
+	// Deadline is the completion deadline in minutes (finite, > 0).
+	Deadline float64 `json:"deadline"`
+	// Strategy selects the algorithm; empty means "iterative". See
+	// engine.Strategies for the accepted names.
+	Strategy string `json:"strategy,omitempty"`
+	// Beta overrides the Rakhmatov diffusion parameter (0 = paper's
+	// 0.273 min^-1/2).
+	Beta float64 `json:"beta,omitempty"`
+	// Restarts/Seed/RestartWorkers configure the multistart strategy;
+	// RestartWorkers 0 inherits the runner's worker bound.
+	Restarts       int   `json:"restarts,omitempty"`
+	Seed           int64 `json:"seed,omitempty"`
+	RestartWorkers int   `json:"restart_workers,omitempty"`
+}
+
+// Result is the JSON schema of one scheduling outcome: one NDJSON line
+// of battbatch / POST /v1/batch output, or the whole body of a POST
+// /v1/schedule response. Exactly one of {Order+Assignment, Error} is
+// populated.
+type Result struct {
+	// Index is the job's position in its batch (0 for single requests).
+	Index int `json:"index"`
+	// Name echoes Job.Name.
+	Name string `json:"name,omitempty"`
+	// Strategy is the canonical strategy name that ran.
+	Strategy string `json:"strategy,omitempty"`
+	// Cost is sigma at completion under the job's battery model, mA·min.
+	Cost float64 `json:"cost,omitempty"`
+	// Duration is the schedule completion time, minutes.
+	Duration float64 `json:"duration,omitempty"`
+	// Energy is the delivered charge, mA·min.
+	Energy float64 `json:"energy,omitempty"`
+	// Iterations is the outer-loop iteration count (iterative
+	// strategies only).
+	Iterations int `json:"iterations,omitempty"`
+	// Order lists task IDs in execution order.
+	Order []int `json:"order,omitempty"`
+	// Assignment maps task ID to its 0-based design point index.
+	Assignment map[int]int `json:"assignment,omitempty"`
+	// IdleTotal/IdleCost report the recovery-rest plan (strategy
+	// "withidle" only): total rest minutes and padded-schedule sigma.
+	IdleTotal float64 `json:"idle_total,omitempty"`
+	IdleCost  float64 `json:"idle_cost,omitempty"`
+	// Error is the job failure, empty on success.
+	//
+	// Note there is deliberately no "served from cache" field: result
+	// bodies are byte-identical whether computed or cached (battschedd
+	// reports cache status out of band, via X-Cache headers).
+	Error string `json:"error,omitempty"`
+}
+
+// MaxRestarts and MaxRestartWorkers bound the multistart knobs a wire
+// job may request. Every restart runs the full algorithm and the worker
+// count sizes real allocations, so without a ceiling one small request
+// could pin or OOM a serving host; the bounds are far above any useful
+// search budget.
+const (
+	MaxRestarts       = 4096
+	MaxRestartWorkers = 256
+)
+
+// DecodeJob strictly parses one JSON job: unknown fields and trailing
+// data after the object are rejected, so a concatenated or truncated
+// request cannot silently lose half its payload. Validation and graph
+// resolution happen once, in ToEngine.
+func DecodeJob(data []byte) (Job, error) {
+	var j Job
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&j); err != nil {
+		return j, err
+	}
+	if dec.More() {
+		return j, fmt.Errorf("job %s: trailing data after the job object", j.label())
+	}
+	return j, nil
+}
+
+// DecodeJobs reads an NDJSON job stream: one job per non-blank line,
+// decoded and resolved into engine jobs. Every non-blank line claims
+// one slot in the returned slices; a line that fails to decode or
+// validate keeps its slot with a zero-value placeholder job (which the
+// engine rejects instantly on its nil graph) and its error in errs —
+// so batch front ends report the decode error for exactly that line
+// without aborting the rest. names echoes each line's "name" field.
+// The only stream-level failure is a scanner error on r.
+func DecodeJobs(r io.Reader) (jobs []engine.Job, names []string, errs []error, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26) // inline graphs can be large
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ejob engine.Job
+		job, perr := DecodeJob(line)
+		if perr == nil {
+			ejob, perr = job.ToEngine()
+		}
+		jobs = append(jobs, ejob)
+		names = append(names, job.Name)
+		errs = append(errs, perr)
+	}
+	if serr := sc.Err(); serr != nil {
+		return nil, nil, nil, fmt.Errorf("reading jobs: %w", serr)
+	}
+	return jobs, names, errs, nil
+}
+
+// finite reports whether v is an ordinary number (not NaN, not ±Inf).
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Validate checks every numeric field for finiteness and sign, and the
+// fixture/graph exclusivity rule, returning an error that names the
+// offending field. It does not build the graph (ToEngine does).
+func (j Job) Validate() error {
+	switch {
+	case !finite(j.Deadline):
+		return fmt.Errorf("job %s: \"deadline\" must be a finite number, got %g", j.label(), j.Deadline)
+	case j.Deadline <= 0:
+		return fmt.Errorf("job %s: \"deadline\" must be positive, got %g", j.label(), j.Deadline)
+	case !finite(j.Beta) || j.Beta < 0:
+		return fmt.Errorf("job %s: \"beta\" must be a finite non-negative number, got %g", j.label(), j.Beta)
+	case j.Restarts < 0 || j.Restarts > MaxRestarts:
+		return fmt.Errorf("job %s: \"restarts\" must be in [0, %d], got %d", j.label(), MaxRestarts, j.Restarts)
+	case j.RestartWorkers < 0 || j.RestartWorkers > MaxRestartWorkers:
+		return fmt.Errorf("job %s: \"restart_workers\" must be in [0, %d], got %d", j.label(), MaxRestartWorkers, j.RestartWorkers)
+	case j.Fixture != "" && j.Graph != nil:
+		return fmt.Errorf("job %s: has both \"fixture\" and \"graph\"", j.label())
+	case j.Fixture == "" && j.Graph == nil:
+		return fmt.Errorf("job %s: needs a \"fixture\" or an inline \"graph\"", j.label())
+	}
+	// Inline graph content (finite positive times, finite non-negative
+	// currents, acyclic edges, …) is validated by taskgraph's Builder
+	// when ToEngine resolves the spec — one copy of those rules, one
+	// error vocabulary.
+	return nil
+}
+
+// label identifies the job in error messages.
+func (j Job) label() string {
+	if j.Name != "" {
+		return fmt.Sprintf("%q", j.Name)
+	}
+	return "(unnamed)"
+}
+
+// ToEngine validates the job and resolves its graph into an engine job.
+func (j Job) ToEngine() (engine.Job, error) {
+	job := engine.Job{
+		Name:     j.Name,
+		Deadline: j.Deadline,
+		Strategy: j.Strategy,
+		Options:  core.Options{Beta: j.Beta},
+		MultiStart: core.MultiStartOptions{
+			Restarts: j.Restarts,
+			Seed:     j.Seed,
+			Workers:  j.RestartWorkers,
+		},
+	}
+	if err := j.Validate(); err != nil {
+		return job, err
+	}
+	if _, err := engine.CanonicalStrategy(j.Strategy); err != nil {
+		return job, err
+	}
+	if j.Fixture != "" {
+		g, _, err := taskgraph.Fixture(j.Fixture)
+		if err != nil {
+			return job, err
+		}
+		job.Graph = g
+		return job, nil
+	}
+	g, err := taskgraph.FromSpec(*j.Graph)
+	if err != nil {
+		return job, fmt.Errorf("job %s: %w", j.label(), err)
+	}
+	job.Graph = g
+	return job, nil
+}
+
+// FromEngine converts an engine result into its wire form. index is the
+// job's position in the request batch (engine.Result.Index is ignored so
+// cached results, which are stored request-neutral, convert correctly).
+func FromEngine(index int, res engine.Result) Result {
+	out := Result{Index: index, Name: res.Name, Strategy: res.Strategy}
+	if res.Err != nil {
+		out.Error = res.Err.Error()
+		return out
+	}
+	out.Cost = res.Cost
+	out.Duration = res.Duration
+	out.Energy = res.Energy
+	out.Iterations = res.Iterations
+	out.Order = res.Schedule.Order
+	out.Assignment = res.Schedule.Assignment
+	if res.Idle != nil {
+		out.IdleTotal = res.Idle.TotalIdle()
+		out.IdleCost = res.Idle.Cost
+	}
+	return out
+}
+
+// ErrorResult builds the wire form of a request that never reached the
+// engine (a parse or validation failure).
+func ErrorResult(index int, name string, err error) Result {
+	return Result{Index: index, Name: name, Error: err.Error()}
+}
+
+// Results converts a batch run back to the wire, in input order: lines
+// that failed decoding (per DecodeJobs) report their own decode error,
+// the rest carry their engine result. It is the inverse bookend of
+// DecodeJobs, shared by every batch front end so their output lines
+// cannot drift apart. The three slices must be parallel.
+func Results(results []engine.Result, names []string, errs []error) []Result {
+	out := make([]Result, len(results))
+	for i, res := range results {
+		if errs[i] != nil {
+			out[i] = ErrorResult(i, names[i], errs[i])
+		} else {
+			out[i] = FromEngine(i, res)
+		}
+	}
+	return out
+}

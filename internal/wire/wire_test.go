@@ -1,0 +1,130 @@
+package wire
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/taskgraph"
+)
+
+// decodeAndResolve is the full decode-time gate every front end runs:
+// strict parse, then validation + graph resolution in ToEngine.
+func decodeAndResolve(line string) error {
+	j, err := DecodeJob([]byte(line))
+	if err != nil {
+		return err
+	}
+	_, err = j.ToEngine()
+	return err
+}
+
+// TestDecodeJobRejectsBadInput is the decode-time gate: malformed JSON,
+// non-finite numbers and invalid graphs must all fail with a clear
+// error before any scheduling work starts.
+func TestDecodeJobRejectsBadInput(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		line string
+		want string // substring of the error, "" = must succeed
+	}{
+		{"ok fixture", `{"fixture":"g3","deadline":230}`, ""},
+		{"ok inline graph", `{"graph":{"tasks":[{"id":1,"points":[{"current":10,"time":1}]}]},"deadline":5}`, ""},
+		{"malformed json", `this is not json`, "invalid character"},
+		{"unknown field", `{"fixture":"g3","deadline":230,"bogus":1}`, "unknown field"},
+		{"NaN deadline", `{"fixture":"g3","deadline":NaN}`, "invalid character"},
+		{"Inf deadline", `{"fixture":"g3","deadline":Infinity}`, "invalid character"},
+		{"overflowing deadline", `{"fixture":"g3","deadline":1e999}`, ""}, // error text differs by Go version; checked below
+		{"zero deadline", `{"fixture":"g3","deadline":0}`, "must be positive"},
+		{"negative deadline", `{"fixture":"g3","deadline":-5}`, "must be positive"},
+		{"missing deadline", `{"fixture":"g3"}`, "must be positive"},
+		{"negative beta", `{"fixture":"g3","deadline":230,"beta":-0.1}`, "\"beta\""},
+		{"negative restarts", `{"fixture":"g3","deadline":230,"restarts":-1}`, "\"restarts\""},
+		{"restarts over cap", `{"fixture":"g3","deadline":230,"restarts":2000000000}`, "\"restarts\""},
+		{"restart_workers over cap", `{"fixture":"g3","deadline":230,"restart_workers":100000}`, "\"restart_workers\""},
+		{"both graph and fixture", `{"fixture":"g3","graph":{"tasks":[]},"deadline":230}`, "both"},
+		{"neither graph nor fixture", `{"deadline":230}`, "needs a"},
+		{"negative current", `{"graph":{"tasks":[{"id":1,"points":[{"current":-10,"time":1}]}]},"deadline":5}`, "current must be finite and non-negative"},
+		{"zero time", `{"graph":{"tasks":[{"id":1,"points":[{"current":10,"time":0}]}]},"deadline":5}`, "time must be finite and positive"},
+		{"trailing data", `{"fixture":"g3","deadline":230}{"fixture":"g2","deadline":75}`, "trailing data"},
+	} {
+		err := decodeAndResolve(tc.line)
+		if tc.want == "" && tc.name != "overflowing deadline" {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", tc.name, err)
+			}
+			continue
+		}
+		if tc.name == "overflowing deadline" {
+			if err == nil {
+				t.Errorf("%s: error expected (decode-time range or finiteness check)", tc.name)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestValidateCatchesNonFiniteProgrammatic covers NaN/Inf injected via
+// the Go API, which strict JSON cannot carry.
+func TestValidateCatchesNonFiniteProgrammatic(t *testing.T) {
+	spec := taskgraph.G2().ToSpec("g2")
+	for _, tc := range []struct {
+		name string
+		job  Job
+		want string
+	}{
+		{"NaN deadline", Job{Fixture: "g3", Deadline: math.NaN()}, "finite"},
+		{"+Inf deadline", Job{Fixture: "g3", Deadline: math.Inf(1)}, "finite"},
+		{"-Inf deadline", Job{Fixture: "g3", Deadline: math.Inf(-1)}, "finite"},
+		{"NaN beta", Job{Fixture: "g3", Deadline: 230, Beta: math.NaN()}, "\"beta\""},
+		{"Inf beta", Job{Fixture: "g3", Deadline: 230, Beta: math.Inf(1)}, "\"beta\""},
+	} {
+		err := tc.job.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+
+	// A NaN current in an inline graph is caught when ToEngine builds
+	// the graph (the taskgraph builder owns the point rules).
+	bad := spec
+	bad.Tasks = append([]taskgraph.TaskSpec(nil), spec.Tasks...)
+	pts := append([]taskgraph.PointSpec(nil), bad.Tasks[0].Points...)
+	pts[0].Current = math.NaN()
+	bad.Tasks[0] = taskgraph.TaskSpec{ID: bad.Tasks[0].ID, Points: pts, Parents: bad.Tasks[0].Parents}
+	_, err := Job{Graph: &bad, Deadline: 75}.ToEngine()
+	if err == nil || !strings.Contains(err.Error(), "current must be finite") {
+		t.Errorf("NaN current: err = %v, want current error", err)
+	}
+}
+
+// TestToEngineResolvesGraphs checks the fixture and inline paths and the
+// strategy gate.
+func TestToEngineResolvesGraphs(t *testing.T) {
+	job, err := (Job{Fixture: "G2", Deadline: 75}).ToEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Graph == nil || job.Graph.N() != taskgraph.G2().N() {
+		t.Fatalf("fixture graph not resolved: %+v", job)
+	}
+
+	spec := taskgraph.G3().ToSpec("inline")
+	job, err = (Job{Graph: &spec, Deadline: 230, Strategy: "multistart", Restarts: 4, Seed: 9}).ToEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Graph == nil || job.Graph.N() != 15 || job.MultiStart.Restarts != 4 {
+		t.Fatalf("inline graph not resolved: %+v", job)
+	}
+
+	if _, err := (Job{Fixture: "g2", Deadline: 75, Strategy: "nonsense"}).ToEngine(); err == nil {
+		t.Fatal("unknown strategy must be rejected at decode time")
+	}
+	if _, err := (Job{Fixture: "nope", Deadline: 75}).ToEngine(); err == nil {
+		t.Fatal("unknown fixture must be rejected")
+	}
+}

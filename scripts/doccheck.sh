@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# doccheck.sh — verify that every relative link in the repository's
+# markdown docs points at a file or directory that actually exists.
+#
+# Checked files: README.md, ARCHITECTURE.md, and everything under docs/.
+# External links (http/https) and pure in-page anchors (#...) are
+# skipped; a link's own anchor suffix (FILE.md#section) is stripped
+# before the existence check. Run from anywhere; exits non-zero listing
+# every broken link.
+set -u
+
+cd "$(dirname "$0")/.."
+
+files=(README.md ARCHITECTURE.md)
+while IFS= read -r f; do
+  files+=("$f")
+done < <(find docs -name '*.md' 2>/dev/null | sort)
+
+fail=0
+for md in "${files[@]}"; do
+  [ -f "$md" ] || { echo "doccheck: missing doc file $md"; fail=1; continue; }
+  dir=$(dirname "$md")
+  # Pull out every ](target) markdown link target.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"            # strip an anchor suffix
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "doccheck: $md links to missing file: $target"
+      fail=1
+    fi
+  done < <(grep -o ']([^)]*)' "$md" | sed 's/^](//; s/)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "doccheck: FAILED"
+  exit 1
+fi
+echo "doccheck: all doc links resolve (${#files[@]} files checked)"
