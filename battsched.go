@@ -38,6 +38,8 @@
 package battsched
 
 import (
+	"context"
+
 	"repro/internal/baseline"
 	"repro/internal/battery"
 	"repro/internal/cache"
@@ -94,6 +96,11 @@ type Scheduler = core.Scheduler
 // misses the deadline.
 var ErrDeadlineInfeasible = core.ErrDeadlineInfeasible
 
+// ErrCanceled marks a batch job cut short by its context or timeout —
+// whether it never started or was aborted mid-search. Match it with
+// errors.Is on BatchResult.Err.
+var ErrCanceled = engine.ErrCanceled
+
 // BatteryModel estimates the apparent charge a discharge profile draws.
 type BatteryModel = battery.Model
 
@@ -135,6 +142,18 @@ func Run(g *Graph, deadline float64, opt Options) (*Result, error) {
 		return nil, err
 	}
 	return s.Run()
+}
+
+// RunContext is Run with cooperative cancellation: the iterative search
+// checks ctx between iterations, windows and sequence positions, so it
+// stops promptly — returning ctx.Err() — once the caller gives up. A
+// run that completes is bit-identical to Run's.
+func RunContext(ctx context.Context, g *Graph, deadline float64, opt Options) (*Result, error) {
+	s, err := core.New(g, deadline, opt)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunContext(ctx)
 }
 
 // RunBaselineRV runs the comparison algorithm of the paper's reference
@@ -195,6 +214,17 @@ func RunMultiStart(g *Graph, deadline float64, opt Options, ms MultiStartOptions
 	return core.RunMultiStart(s, ms)
 }
 
+// RunMultiStartContext is RunMultiStart with cooperative cancellation:
+// ctx is checked between restarts and inside each restart's search, and
+// a completed search is bit-identical to RunMultiStart's.
+func RunMultiStartContext(ctx context.Context, g *Graph, deadline float64, opt Options, ms MultiStartOptions) (*Result, error) {
+	s, err := core.New(g, deadline, opt)
+	if err != nil {
+		return nil, err
+	}
+	return core.RunMultiStartContext(ctx, s, ms)
+}
+
 // BatchJob is one request of a batch: a graph, a deadline and a strategy
 // name (iterative, multistart, withidle, rv-dp, chowdhury, all-fastest,
 // lowest-power; empty means iterative).
@@ -217,6 +247,15 @@ func BatchStrategies() []string { return engine.Strategies() }
 // output is byte-deterministic for a fixed batch regardless of workers.
 func RunBatch(jobs []BatchJob, workers int) []BatchResult {
 	return engine.RunBatch(jobs, workers)
+}
+
+// RunBatchContext is RunBatch with request-scoped cancellation: once
+// ctx is done, jobs not yet started are marked ErrCanceled without
+// running, in-flight iterative searches abort at their next cooperative
+// check, and jobs that completed first keep results bit-identical to an
+// uncancelled run's. Per-job budgets go in BatchJob.Timeout.
+func RunBatchContext(ctx context.Context, jobs []BatchJob, workers int) []BatchResult {
+	return engine.RunBatchContext(ctx, jobs, workers)
 }
 
 // Cache is a bounded, concurrency-safe LRU of scheduling results keyed
@@ -267,6 +306,17 @@ func RunCached(c *Cache, g *Graph, deadline float64, opt Options) (*Result, erro
 func RunBatchCached(c *Cache, jobs []BatchJob, workers int) []BatchResult {
 	ce := cache.Engine{Cache: c, Workers: workers}
 	results, _ := ce.RunBatch(jobs)
+	return results
+}
+
+// RunBatchCachedContext is RunBatchCached with request-scoped
+// cancellation. A canceled caller detaches from any single-flight
+// computation it was waiting on without poisoning it for other waiters,
+// and a computation aborted by cancellation is never stored — the cache
+// only ever holds results of completed, deterministic runs.
+func RunBatchCachedContext(ctx context.Context, c *Cache, jobs []BatchJob, workers int) []BatchResult {
+	ce := cache.Engine{Cache: c, Workers: workers}
+	results, _ := ce.RunBatchContext(ctx, jobs)
 	return results
 }
 

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	battbatch [-in jobs.ndjson] [-out results.ndjson] [-workers 8] [-cache 0]
+//	battbatch [-in jobs.ndjson] [-out results.ndjson] [-workers 8] [-cache 0] [-timeout 0]
 //	echo '{"fixture":"g3","deadline":230,"strategy":"multistart"}' | battbatch
 //
 // A job line looks like:
@@ -30,15 +30,24 @@
 // `-cache n` deduplicates repeated jobs within the batch through an
 // n-entry result cache (0 disables it; the output bytes are identical
 // either way, only wall-clock time changes).
+//
+// The batch is cancelable: SIGINT (Ctrl-C) stops the scheduling work
+// mid-batch instead of letting it run to the end — every line still gets
+// a result, with unfinished jobs carrying the "canceled" error code and
+// finished ones their normal (bit-identical) payloads. `-timeout`
+// bounds the whole batch the same way; a per-job "timeout_ms" field
+// bounds a single line.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 
 	"repro/internal/cache"
@@ -47,8 +56,10 @@ import (
 
 // run reads NDJSON jobs from r, schedules them over `workers` goroutines
 // (through a cacheEntries-bounded result cache when cacheEntries > 0)
-// and writes NDJSON results to w. It returns the number of failed jobs.
-func run(r io.Reader, w io.Writer, workers, cacheEntries int) (failed int, err error) {
+// and writes NDJSON results to w, stopping early — but still writing
+// every result line — when ctx is canceled. It returns the number of
+// failed jobs (canceled ones included).
+func run(ctx context.Context, r io.Reader, w io.Writer, workers, cacheEntries int) (failed int, err error) {
 	// One output slot per non-blank input line; a line that fails to
 	// decode keeps its slot and reports its own error (see
 	// wire.DecodeJobs).
@@ -61,7 +72,7 @@ func run(r io.Reader, w io.Writer, workers, cacheEntries int) (failed int, err e
 	if cacheEntries > 0 {
 		ce.Cache = cache.New(cacheEntries)
 	}
-	results, _ := ce.RunBatch(jobs)
+	results, _ := ce.RunBatchContext(ctx, jobs)
 	enc := json.NewEncoder(w)
 	for i, out := range wire.Results(results, names, parseErrs) {
 		if out.Error != "" {
@@ -80,8 +91,23 @@ func main() {
 		out          = flag.String("out", "", "results NDJSON file (default stdout)")
 		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent jobs (0 = GOMAXPROCS)")
 		cacheEntries = flag.Int("cache", 0, "dedupe repeated jobs through an n-entry result cache (0 = off)")
+		timeout      = flag.Duration("timeout", 0, "whole-batch time budget, e.g. 30s (0 = unbounded)")
 	)
 	flag.Parse()
+
+	// SIGINT cancels the running batch (results written so far are kept,
+	// the rest report the canceled code); a second SIGINT kills the
+	// process via the restored default handler — AfterFunc unregisters
+	// the diversion the moment the first signal lands, NotifyContext
+	// alone would swallow every subsequent one until main returns.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var r io.Reader = os.Stdin
 	if *in != "" {
@@ -102,7 +128,7 @@ func main() {
 		w = f
 	}
 	bw := bufio.NewWriter(w)
-	failed, err := run(r, bw, *workers, *cacheEntries)
+	failed, err := run(ctx, r, bw, *workers, *cacheEntries)
 	if ferr := bw.Flush(); err == nil {
 		err = ferr
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -30,7 +31,7 @@ func TestRunBatchNDJSON(t *testing.T) {
 	}, "\n")
 
 	var out bytes.Buffer
-	failed, err := run(strings.NewReader(input), &out, 4, 0)
+	failed, err := run(context.Background(), strings.NewReader(input), &out, 4, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,14 +84,14 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 bad line
 `
 	var ref bytes.Buffer
-	if _, err := run(strings.NewReader(input), &ref, 1, 0); err != nil {
+	if _, err := run(context.Background(), strings.NewReader(input), &ref, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	for _, tc := range []struct{ workers, cache int }{
 		{2, 0}, {7, 0}, {1, 64}, {4, 64},
 	} {
 		var out bytes.Buffer
-		if _, err := run(strings.NewReader(input), &out, tc.workers, tc.cache); err != nil {
+		if _, err := run(context.Background(), strings.NewReader(input), &out, tc.workers, tc.cache); err != nil {
 			t.Fatal(err)
 		}
 		if !bytes.Equal(out.Bytes(), ref.Bytes()) {
@@ -121,7 +122,7 @@ func TestRejectsBadNumbersAtDecodeTime(t *testing.T) {
 		{"unknown field", `{"fixture":"g3","deadline":230,"dedline":5}`, "unknown field"},
 	} {
 		var out bytes.Buffer
-		failed, err := run(strings.NewReader(tc.line), &out, 1, 0)
+		failed, err := run(context.Background(), strings.NewReader(tc.line), &out, 1, 0)
 		if err != nil {
 			t.Fatalf("%s: run error %v", tc.name, err)
 		}

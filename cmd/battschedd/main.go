@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	battschedd [-addr :8347] [-workers 0] [-max-inflight 0] [-cache 1024] [-quiet]
+//	battschedd [-addr :8347] [-workers 0] [-max-inflight 0] [-cache 1024] [-timeout 0] [-quiet]
 //
 //	curl -s localhost:8347/v1/schedule -d '{"fixture":"g3","deadline":230}'
 //	curl -s localhost:8347/v1/batch --data-binary @jobs.ndjson
@@ -16,8 +16,15 @@
 // Endpoints, wire schemas and curl walk-throughs are documented in
 // docs/API.md; request bodies are exactly battbatch's NDJSON job lines.
 // The daemon writes one structured (JSON) access-log line per request
-// to stderr (suppress with -quiet) and shuts down gracefully on SIGINT
-// or SIGTERM, finishing in-flight requests first.
+// to stderr (suppress with -quiet).
+//
+// Scheduling work is request-scoped: a client that disconnects cancels
+// its in-flight batch instead of leaving the server to compute an
+// answer nobody will read. `-timeout` bounds every request's scheduling
+// time server-side (clients can bound individual jobs with the
+// timeout_ms wire field). On SIGINT or SIGTERM the daemon cancels
+// running batches — their unfinished jobs return the "canceled" code —
+// and exits once the (now fast) drain completes.
 package main
 
 import (
@@ -46,6 +53,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "concurrent scheduling jobs per request (0 = GOMAXPROCS)")
 		maxInflight = flag.Int("max-inflight", 0, "concurrent scheduling requests (0 = 2*GOMAXPROCS)")
 		cacheSize   = flag.Int("cache", 1024, "result cache entries (0 disables caching)")
+		timeout     = flag.Duration("timeout", 0, "per-request scheduling time budget, e.g. 30s (0 = unbounded)")
 		quiet       = flag.Bool("quiet", false, "suppress per-request access logs")
 	)
 	flag.Parse()
@@ -56,7 +64,8 @@ func main() {
 		MaxInFlight: *maxInflight,
 		// The flag follows battbatch's convention (0 = caching off);
 		// Config uses 0 = default, negative = off.
-		CacheEntries: *cacheSize,
+		CacheEntries:   *cacheSize,
+		RequestTimeout: *timeout,
 	}
 	if *cacheSize == 0 {
 		cfg.CacheEntries = -1
@@ -79,9 +88,11 @@ func main() {
 }
 
 // serve runs the HTTP server on l until it fails or ctx is cancelled,
-// then drains in-flight requests for up to shutdownGrace (requests
-// still queued for capacity fail fast via s.Close, so only running work
-// holds the drain open). It returns nil on a clean shutdown.
+// then drains for up to shutdownGrace. The drain is fast by
+// construction: s.Close fails requests still queued for capacity with
+// an immediate 503 and cancels in-flight scheduling work, so running
+// batches return promptly with their unfinished jobs marked canceled
+// instead of computing to the end. It returns nil on a clean shutdown.
 func serve(ctx context.Context, l net.Listener, s *server.Server, logger *log.Logger) error {
 	srv := &http.Server{
 		Handler:           s.Handler(),

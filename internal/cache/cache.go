@@ -25,6 +25,8 @@ package cache
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -61,10 +63,14 @@ type entry struct {
 }
 
 // flight is one in-progress computation; waiters block on done and then
-// read res (the close of done publishes the write).
+// read res and canceled (the close of done publishes the writes).
+// canceled marks a leader that aborted without producing a result —
+// nothing was stored, and live waiters should retry rather than adopt
+// the leader's cancellation.
 type flight struct {
-	done chan struct{}
-	res  engine.Result
+	done     chan struct{}
+	res      engine.Result
+	canceled bool
 }
 
 // Stats is a point-in-time snapshot of the cache counters.
@@ -109,38 +115,77 @@ func New(maxEntries int) *Cache {
 // deterministic for the key and must not panic (engine.RunBatch already
 // converts job panics into per-job errors).
 func (c *Cache) Do(key string, compute func() engine.Result) (engine.Result, bool) {
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.ll.MoveToFront(el)
-		res := el.Value.(*entry).res
-		c.mu.Unlock()
-		c.hits.Add(1)
-		return cloneResult(res), true
-	}
-	if f, ok := c.flights[key]; ok {
-		c.mu.Unlock()
-		<-f.done
-		c.dedups.Add(1)
-		return cloneResult(f.res), true
-	}
-	f := &flight{done: make(chan struct{})}
-	c.flights[key] = f
-	c.mu.Unlock()
+	return c.DoContext(context.Background(), key, compute)
+}
 
-	c.misses.Add(1)
-	res := compute()
-	// Strip the per-request identity so the stored canon serves any
-	// later request regardless of its position or name; front ends
-	// re-attach both (see Engine.Run).
-	res.Index, res.Name = 0, ""
-	f.res = res
+// DoContext is Do with request-scoped cancellation, designed so one
+// caller's cancellation can never poison the shared computation:
+//
+//   - A waiter whose ctx dies detaches immediately with an
+//     engine.ErrCanceled result; the leader's flight and the entry it
+//     will store are untouched, and other waiters still share it.
+//   - A leader whose compute is canceled (its result carries
+//     engine.ErrCanceled — ctx died or the job's Timeout fired) stores
+//     nothing: the aborted flight is discarded and still-live waiters
+//     retry, the first of them becoming the new leader. A cancellation
+//     is not a deterministic property of the key, so it must never be
+//     served to anyone else.
+//
+// compute is expected to observe the same ctx and return an
+// ErrCanceled result promptly once it is done.
+func (c *Cache) DoContext(ctx context.Context, key string, compute func() engine.Result) (engine.Result, bool) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.ll.MoveToFront(el)
+			res := el.Value.(*entry).res
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return cloneResult(res), true
+		}
+		if f, ok := c.flights[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				// Detach: the flight keeps computing for its leader
+				// and any remaining waiters.
+				return engine.Result{Err: engine.CanceledError(ctx.Err())}, false
+			}
+			if f.canceled {
+				if ctx.Err() != nil {
+					return engine.Result{Err: engine.CanceledError(ctx.Err())}, false
+				}
+				continue // leader aborted; retry, possibly as the new leader
+			}
+			c.dedups.Add(1)
+			return cloneResult(f.res), true
+		}
+		f := &flight{done: make(chan struct{})}
+		c.flights[key] = f
+		c.mu.Unlock()
 
-	c.mu.Lock()
-	delete(c.flights, key)
-	c.store(key, res)
-	c.mu.Unlock()
-	close(f.done)
-	return cloneResult(res), false
+		c.misses.Add(1)
+		res := compute()
+		// Strip the per-request identity so the stored canon serves any
+		// later request regardless of its position or name; front ends
+		// re-attach both (see Engine.Run).
+		res.Index, res.Name = 0, ""
+
+		c.mu.Lock()
+		delete(c.flights, key)
+		if errors.Is(res.Err, engine.ErrCanceled) {
+			c.mu.Unlock()
+			f.canceled = true
+			close(f.done)
+			return res, false
+		}
+		c.store(key, res)
+		c.mu.Unlock()
+		f.res = res
+		close(f.done)
+		return cloneResult(res), false
+	}
 }
 
 // Get returns the stored result for key without computing anything.

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"runtime"
 
 	"repro/internal/engine"
@@ -43,9 +44,18 @@ func (e *Engine) workers() int {
 // served without computing (stored hit or single-flight dedup). The
 // result carries the job's Name and Index 0.
 func (e *Engine) Run(job engine.Job) (engine.Result, bool) {
+	return e.RunContext(context.Background(), job)
+}
+
+// RunContext is Run with request-scoped cancellation: a done ctx stops
+// the computation at its next cooperative check (or skips it entirely,
+// including the wait for a Gate slot) and yields an engine.ErrCanceled
+// result. Cache hits still answer instantly — serving stored bytes
+// costs nothing worth canceling.
+func (e *Engine) RunContext(ctx context.Context, job engine.Job) (engine.Result, bool) {
 	// A lone job may fan its multistart restarts over the whole pool,
 	// mirroring engine.RunBatch's bound-splitting for a one-job batch.
-	res, hit := e.run(job, e.workers())
+	res, hit := e.run(ctx, job, e.workers())
 	res.Index, res.Name = 0, job.Name
 	return res, hit
 }
@@ -56,11 +66,24 @@ func (e *Engine) Run(job engine.Job) (engine.Result, bool) {
 // engine.RunBatch's for any Workers value and any cache state — the
 // pool and its bound-splitting live in engine.RunEach, shared by both.
 func (e *Engine) RunBatch(jobs []engine.Job) ([]engine.Result, []bool) {
+	return e.RunBatchContext(context.Background(), jobs)
+}
+
+// RunBatchContext is RunBatch with request-scoped cancellation,
+// inheriting engine.RunBatchContext's contract: jobs the dispatcher
+// never reached are marked engine.ErrCanceled without running,
+// in-flight computations abort at their next cooperative check, and
+// results that completed before the cancellation are bit-identical to
+// an uncancelled run's.
+func (e *Engine) RunBatchContext(ctx context.Context, jobs []engine.Job) ([]engine.Result, []bool) {
 	results := make([]engine.Result, len(jobs))
 	hits := make([]bool, len(jobs))
+	for i := range results {
+		results[i] = engine.Result{Index: i, Name: jobs[i].Name, Err: engine.ErrCanceled}
+	}
 	pool := engine.Engine{Workers: e.Workers}
-	pool.RunEach(len(jobs), func(i, restartWorkers int) {
-		res, hit := e.run(jobs[i], restartWorkers)
+	pool.RunEachContext(ctx, len(jobs), func(i, restartWorkers int) {
+		res, hit := e.run(ctx, jobs[i], restartWorkers)
 		res.Index, res.Name = i, jobs[i].Name
 		results[i], hits[i] = res, hit
 	})
@@ -69,17 +92,32 @@ func (e *Engine) RunBatch(jobs []engine.Job) ([]engine.Result, []bool) {
 
 // run executes one job: cache lookup/single-flight when cacheable,
 // direct engine execution otherwise.
-func (e *Engine) run(job engine.Job, restartWorkers int) (engine.Result, bool) {
+//
+// The job's Timeout starts counting here — before the Gate wait and
+// before any single-flight join — not just inside the engine. Timeout
+// is excluded from the cache key, so a budgeted job can dedup onto a
+// budget-free leader's computation; without this wrapping it would wait
+// on that flight bounded only by the request context, ignoring its own
+// timeout_ms contract.
+func (e *Engine) run(ctx context.Context, job engine.Job, restartWorkers int) (engine.Result, bool) {
+	if job.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, job.Timeout)
+		defer cancel()
+		// The budget now lives in ctx; clear the field so the engine
+		// underneath does not arm a second, never-firing timer per job.
+		job.Timeout = 0
+	}
 	if e.Cache == nil {
-		return e.compute(job, restartWorkers), false
+		return e.compute(ctx, job, restartWorkers), false
 	}
 	key, ok := Key(job)
 	if !ok {
 		e.Cache.bypasses.Add(1)
-		return e.compute(job, restartWorkers), false
+		return e.compute(ctx, job, restartWorkers), false
 	}
-	return e.Cache.Do(key, func() engine.Result {
-		return e.compute(job, restartWorkers)
+	return e.Cache.DoContext(ctx, key, func() engine.Result {
+		return e.compute(ctx, job, restartWorkers)
 	})
 }
 
@@ -94,10 +132,15 @@ func (e *Engine) run(job engine.Job, restartWorkers int) (engine.Result, bool) {
 // sequentially. Total scheduling goroutines stay at ~cap(Gate) instead
 // of requests × restartWorkers; since restart fan-out is result-neutral
 // (bit-identical for any Workers), clamping it here changes wall-clock
-// only.
-func (e *Engine) compute(job engine.Job, restartWorkers int) engine.Result {
+// only. A request canceled while queued for its slot gives up with an
+// engine.ErrCanceled result instead of holding its place in line.
+func (e *Engine) compute(ctx context.Context, job engine.Job, restartWorkers int) engine.Result {
 	if e.Gate != nil {
-		e.Gate <- struct{}{}
+		select {
+		case e.Gate <- struct{}{}:
+		case <-ctx.Done():
+			return engine.Result{Err: engine.CanceledError(ctx.Err())}
+		}
 		held := 1
 		// Only a multistart job can use extra slots (every other
 		// strategy runs one goroutine), so only it widens — a greedy
@@ -126,5 +169,5 @@ func (e *Engine) compute(job engine.Job, restartWorkers int) engine.Result {
 	} else if job.MultiStart.Workers == 0 {
 		job.MultiStart.Workers = restartWorkers
 	}
-	return engine.RunBatch([]engine.Job{job}, 1)[0]
+	return engine.RunBatchContext(ctx, []engine.Job{job}, 1)[0]
 }

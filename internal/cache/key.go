@@ -32,9 +32,11 @@ const keyVersion = "battsched-cache-v1"
 // Deliberately excluded because they are result-neutral: Job.Name (a
 // label), Options.Parallel and MultiStart.Workers (both documented
 // bit-identical to their sequential paths), Options.RecordTrace (the
-// trace never reaches an engine.Result), and MultiStart for
-// non-multistart strategies. Excluding them means a request answers
-// from cache however the caller tuned its concurrency.
+// trace never reaches an engine.Result), MultiStart for non-multistart
+// strategies, and Job.Timeout (a completed result is identical under
+// any timeout, and a computation the timeout aborts is never stored —
+// see Cache.DoContext). Excluding them means a request answers from
+// cache however the caller tuned its concurrency or deadline budget.
 //
 // Not cacheable (ok = false): a nil graph, an unknown strategy (the
 // engine's error is cheaper than hashing), and a custom Options.Model —

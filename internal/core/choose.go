@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 )
 
@@ -13,7 +14,13 @@ import (
 // CT(k) — the completion time if every task used column k — decreases as k
 // decreases (columns are time-sorted), so the start search widens the
 // window until CT fits the deadline.
-func (s *Scheduler) evaluateWindows(L []int) (bestAssign []int, bestCost float64, windows []WindowTrace) {
+//
+// Cancellation: the sweep checks ctx before each window (and
+// chooseDesignPoints checks it between sequence positions), returning
+// early with whatever it has evaluated so far. Callers that care must
+// check ctx themselves afterwards — a partially swept result is only
+// used by RunContext when the context is still live.
+func (s *Scheduler) evaluateWindows(ctx context.Context, L []int) (bestAssign []int, bestCost float64, windows []WindowTrace) {
 	start := s.m - 2
 	if start < 0 {
 		start = 0
@@ -35,7 +42,10 @@ func (s *Scheduler) evaluateWindows(L []int) (bestAssign []int, bestCost float64
 	}
 	bestCost = math.Inf(1)
 	for ws := start; ws >= lo; ws-- {
-		assign, ok := s.chooseDesignPoints(L, ws)
+		if ctx.Err() != nil {
+			return bestAssign, bestCost, windows
+		}
+		assign, ok := s.chooseDesignPoints(ctx, L, ws)
 		wt := WindowTrace{WindowStart: ws + 1, Feasible: ok, Cost: math.Inf(1)}
 		if ok {
 			wt.Cost = s.costOf(L, assign)
@@ -81,8 +91,11 @@ func (s *Scheduler) totalTime(assign []int) float64 {
 //
 // It returns the per-task-index assignment and whether a deadline-feasible
 // assignment was found (a finite B for the first sequence position implies
-// feasibility, because no free tasks remain there).
-func (s *Scheduler) chooseDesignPoints(L []int, ws int) ([]int, bool) {
+// feasibility, because no free tasks remain there). A canceled ctx makes
+// it bail out between sequence positions with (nil, false) — each
+// position costs O(m²·n) suitability work, so this is the finest
+// cancellation grain that stays off the arithmetic hot path.
+func (s *Scheduler) chooseDesignPoints(ctx context.Context, L []int, ws int) ([]int, bool) {
 	n, m := s.n, s.m
 	assign := make([]int, n)
 	for i := range assign {
@@ -103,6 +116,9 @@ func (s *Scheduler) chooseDesignPoints(L []int, ws int) ([]int, bool) {
 
 	scratch := newDPFScratch(n)
 	for pos := n - 2; pos >= 0; pos-- {
+		if ctx.Err() != nil {
+			return nil, false
+		}
 		ti := L[pos]
 		bestB := math.Inf(1)
 		bestJ := -1

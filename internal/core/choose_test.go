@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -143,7 +144,7 @@ func TestChooseDesignPointsRespectsWindow(t *testing.T) {
 	s := mustScheduler(t, g, taskgraph.G3Deadline, Options{})
 	L := s.initialSequence()
 	for ws := 0; ws <= s.m-2; ws++ {
-		assign, ok := s.chooseDesignPoints(L, ws)
+		assign, ok := s.chooseDesignPoints(context.Background(), L, ws)
 		if !ok {
 			continue
 		}
@@ -163,7 +164,7 @@ func TestChooseDesignPointsLastTaskLowestPower(t *testing.T) {
 	g := taskgraph.G3()
 	s := mustScheduler(t, g, taskgraph.G3Deadline, Options{})
 	L := s.initialSequence()
-	assign, ok := s.chooseDesignPoints(L, s.m-2)
+	assign, ok := s.chooseDesignPoints(context.Background(), L, s.m-2)
 	if !ok {
 		t.Fatal("window m-1 should be feasible at the paper's deadline")
 	}
@@ -180,7 +181,7 @@ func TestEvaluateWindowsWidensUntilFeasible(t *testing.T) {
 	g := taskgraph.G3()
 	s := mustScheduler(t, g, 180, Options{RecordTrace: true})
 	L := s.initialSequence()
-	_, _, windows := s.evaluateWindows(L)
+	_, _, windows := s.evaluateWindows(context.Background(), L)
 	if len(windows) != 3 {
 		t.Fatalf("evaluated %d windows, want 3", len(windows))
 	}
@@ -196,12 +197,12 @@ func TestEvaluateWindowsWidensUntilFeasible(t *testing.T) {
 func TestWindowPolicies(t *testing.T) {
 	g := taskgraph.G3()
 	first := mustScheduler(t, g, taskgraph.G3Deadline, Options{Windows: WindowFirstFeasible, RecordTrace: true})
-	_, _, w1 := first.evaluateWindows(first.initialSequence())
+	_, _, w1 := first.evaluateWindows(context.Background(), first.initialSequence())
 	if len(w1) != 1 || w1[0].WindowStart != 4 {
 		t.Fatalf("first-feasible windows = %v", w1)
 	}
 	full := mustScheduler(t, g, taskgraph.G3Deadline, Options{Windows: WindowFullOnly, RecordTrace: true})
-	_, _, w2 := full.evaluateWindows(full.initialSequence())
+	_, _, w2 := full.evaluateWindows(context.Background(), full.initialSequence())
 	if len(w2) != 1 || w2[0].WindowStart != 1 {
 		t.Fatalf("full-only windows = %v", w2)
 	}

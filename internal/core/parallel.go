@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sync"
@@ -17,8 +18,10 @@ import (
 // evaluateWindowsParallel is evaluateWindows with each window's backward
 // pass running in its own goroutine. Results are identical to the
 // sequential path (windows are independent and the merge is
-// deterministic); only wall-clock changes.
-func (s *Scheduler) evaluateWindowsParallel(L []int) (bestAssign []int, bestCost float64, windows []WindowTrace) {
+// deterministic); only wall-clock changes. A canceled ctx makes every
+// window's pass bail out, so the wait below stays short; the merged
+// result is then meaningless and callers must check ctx.
+func (s *Scheduler) evaluateWindowsParallel(ctx context.Context, L []int) (bestAssign []int, bestCost float64, windows []WindowTrace) {
 	start := s.m - 2
 	if start < 0 {
 		start = 0
@@ -48,7 +51,7 @@ func (s *Scheduler) evaluateWindowsParallel(L []int) (bestAssign []int, bestCost
 		go func(k int) {
 			defer wg.Done()
 			ws := start - k
-			assign, ok := s.chooseDesignPoints(L, ws)
+			assign, ok := s.chooseDesignPoints(ctx, L, ws)
 			wt := WindowTrace{WindowStart: ws + 1, Feasible: ok, Cost: math.Inf(1)}
 			if ok {
 				wt.Cost = s.costOf(L, assign)
@@ -103,6 +106,16 @@ type MultiStartOptions struct {
 // list-scheduling weights; everything downstream is the unmodified
 // algorithm.
 func RunMultiStart(s *Scheduler, opts MultiStartOptions) (*Result, error) {
+	return RunMultiStartContext(context.Background(), s, opts)
+}
+
+// RunMultiStartContext is RunMultiStart with cooperative cancellation:
+// ctx is checked between restarts (and inside each restart's window
+// evaluation), so a multi-start search stops promptly mid-restart once
+// the caller gives up. On cancellation it returns ctx.Err() and no
+// partial best; a search that completes is bit-identical to
+// RunMultiStart's for every Workers value.
+func RunMultiStartContext(ctx context.Context, s *Scheduler, opts MultiStartOptions) (*Result, error) {
 	if opts.Restarts <= 0 {
 		opts.Restarts = DefaultRestarts
 	}
@@ -119,12 +132,12 @@ func RunMultiStart(s *Scheduler, opts MultiStartOptions) (*Result, error) {
 	}
 
 	if opts.Workers <= 1 {
-		best, err := s.Run()
+		best, err := s.RunContext(ctx)
 		if err != nil {
 			return nil, err
 		}
 		for _, w := range weights {
-			res, err := s.runFrom(s.listSchedule(w))
+			res, err := s.runFromContext(ctx, s.listSchedule(w))
 			if err != nil {
 				return nil, err
 			}
@@ -148,13 +161,19 @@ func RunMultiStart(s *Scheduler, opts MultiStartOptions) (*Result, error) {
 		go func(slot int) {
 			defer func() { <-sem; wg.Done() }()
 			if slot == 0 {
-				results[0], errs[0] = s.Run()
+				results[0], errs[0] = s.RunContext(ctx)
 				return
 			}
-			results[slot], errs[slot] = s.runFrom(s.listSchedule(weights[slot-1]))
+			results[slot], errs[slot] = s.runFromContext(ctx, s.listSchedule(weights[slot-1]))
 		}(slot)
 	}
 	wg.Wait()
+	// Cancellation first: once ctx is done some slots hold ctx errors in
+	// nondeterministic positions, so report the cancellation itself
+	// rather than whichever slot happened to observe it first.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Deterministic reduction: first error by slot, else first
 	// strict improvement by slot — exactly the sequential loop's
 	// selection.
@@ -172,9 +191,10 @@ func RunMultiStart(s *Scheduler, opts MultiStartOptions) (*Result, error) {
 	return best, nil
 }
 
-// runFrom executes the iterative loop starting from an explicit initial
-// sequence (dense indices) instead of SequenceDecEnergy's.
-func (s *Scheduler) runFrom(initial []int) (*Result, error) {
+// runFromContext executes the iterative loop starting from an explicit
+// initial sequence (dense indices) instead of SequenceDecEnergy's,
+// checking ctx between iterations and inside window evaluation.
+func (s *Scheduler) runFromContext(ctx context.Context, initial []int) (*Result, error) {
 	if s.g.MinTotalTime() > s.deadline+timeEps {
 		return nil, ErrDeadlineInfeasible
 	}
@@ -185,7 +205,10 @@ func (s *Scheduler) runFrom(initial []int) (*Result, error) {
 	iterations := 0
 	for iter := 0; iter < s.opt.MaxIterations; iter++ {
 		iterations++
-		wAssign, wCost, _ := s.windows(L)
+		wAssign, wCost, _ := s.windows(ctx, L)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if wAssign == nil {
 			wAssign = make([]int, s.n)
 			wCost = s.costOf(L, wAssign)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/taskgraph"
@@ -144,7 +145,7 @@ func TestRunFromInfeasible(t *testing.T) {
 	g := taskgraph.G3()
 	s := mustScheduler(t, g, taskgraph.G3Deadline, Options{})
 	s.deadline = 1 // force infeasible after construction
-	if _, err := s.runFrom(s.initialSequence()); err == nil {
+	if _, err := s.runFromContext(context.Background(), s.initialSequence()); err == nil {
 		t.Fatal("want infeasible error")
 	}
 }

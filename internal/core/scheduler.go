@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -132,6 +133,17 @@ func (s *Scheduler) Model() battery.Model { return s.model }
 // found. It fails with ErrDeadlineInfeasible when no assignment can meet
 // the deadline.
 func (s *Scheduler) Run() (*Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the search checks ctx
+// between iterations, between windows and between sequence positions
+// inside the backward design-point pass, so even a single large job
+// stops promptly once the caller gives up. On cancellation it returns
+// ctx.Err() (context.Canceled or context.DeadlineExceeded) and no
+// partial result — a run that completes is bit-identical to one executed
+// without a context.
+func (s *Scheduler) RunContext(ctx context.Context) (*Result, error) {
 	if s.g.MinTotalTime() > s.deadline+timeEps {
 		return nil, ErrDeadlineInfeasible
 	}
@@ -149,7 +161,10 @@ func (s *Scheduler) Run() (*Result, error) {
 
 	for iter := 0; iter < s.opt.MaxIterations; iter++ {
 		iterations++
-		wBestAssign, wBestCost, windows := s.windows(L)
+		wBestAssign, wBestCost, windows := s.windows(ctx, L)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		it := IterationTrace{WindowCost: wBestCost, BestWindow: -1}
 		if s.opt.RecordTrace {
 			it.Sequence = s.idsOf(L)
@@ -332,11 +347,13 @@ func (s *Scheduler) scheduleFrom(order, assign []int) *sched.Schedule {
 }
 
 // windows dispatches to the sequential or parallel window evaluator.
-func (s *Scheduler) windows(L []int) ([]int, float64, []WindowTrace) {
+// A canceled ctx makes it return early with whatever it has; callers
+// must check ctx before trusting the result.
+func (s *Scheduler) windows(ctx context.Context, L []int) ([]int, float64, []WindowTrace) {
 	if s.opt.Parallel {
-		return s.evaluateWindowsParallel(L)
+		return s.evaluateWindowsParallel(ctx, L)
 	}
-	return s.evaluateWindows(L)
+	return s.evaluateWindows(ctx, L)
 }
 
 func (s *Scheduler) idsOf(L []int) []int {

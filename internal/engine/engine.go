@@ -14,10 +14,12 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/sched"
@@ -45,6 +47,11 @@ type Job struct {
 	// sequential), so total concurrency never exceeds roughly the
 	// engine bound.
 	MultiStart core.MultiStartOptions
+	// Timeout bounds this job's computation once it starts (0 = none).
+	// A job that exceeds it fails with ErrCanceled; jobs that finish in
+	// time are unaffected, so Timeout is result-neutral for completed
+	// work and excluded from cache keys.
+	Timeout time.Duration
 }
 
 // Result is the outcome of one Job. Exactly one of Schedule/Err is nil.
@@ -82,6 +89,30 @@ type Engine struct {
 // ErrNilGraph is returned for jobs without a graph.
 var ErrNilGraph = errors.New("engine: job has a nil graph")
 
+// ErrCanceled marks a job that did not complete because its context was
+// canceled or its Timeout fired — whether it never started or was
+// aborted mid-search. Match it with errors.Is; the error text carries
+// the underlying context error when the job was aborted mid-run, so a
+// disconnect ("context canceled") and a timeout ("context deadline
+// exceeded") stay distinguishable.
+var ErrCanceled = errors.New("engine: job canceled")
+
+// CanceledError wraps a context's cause under ErrCanceled — the one
+// shape every layer reports cancellation in, so front ends can rely on
+// errors.Is(err, ErrCanceled) and a stable message format.
+func CanceledError(cause error) error {
+	if cause == nil {
+		return ErrCanceled
+	}
+	return fmt.Errorf("%w: %v", ErrCanceled, cause)
+}
+
+// isContextErr reports whether err came from a canceled or expired
+// context (directly or wrapped).
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // workers resolves the pool bound.
 func (e *Engine) workers() int {
 	if e.Workers > 0 {
@@ -98,12 +129,37 @@ func RunBatch(jobs []Job, workers int) []Result {
 	return e.RunBatch(jobs)
 }
 
+// RunBatchContext is RunBatch with request-scoped cancellation; see
+// Engine.RunBatchContext.
+func RunBatchContext(ctx context.Context, jobs []Job, workers int) []Result {
+	e := Engine{Workers: workers}
+	return e.RunBatchContext(ctx, jobs)
+}
+
 // RunBatch executes every job over the engine's pool and returns one
 // Result per job, in input order.
 func (e *Engine) RunBatch(jobs []Job) []Result {
+	return e.RunBatchContext(context.Background(), jobs)
+}
+
+// RunBatchContext executes the batch until done or ctx is canceled.
+// Cancellation is cooperative and prompt: jobs not yet started are
+// marked ErrCanceled without running, and in-flight iterative searches
+// abort at their next window-evaluation check, also landing on
+// ErrCanceled. Jobs that completed before the cancellation keep their
+// results, bit-identical to an uncancelled run's — cancellation never
+// changes what finished, only how much finishes.
+func (e *Engine) RunBatchContext(ctx context.Context, jobs []Job) []Result {
 	results := make([]Result, len(jobs))
-	e.RunEach(len(jobs), func(i, restartWorkers int) {
-		results[i] = e.runJob(i, jobs[i], restartWorkers)
+	for i := range results {
+		// Pre-mark every slot canceled; dispatched jobs overwrite
+		// theirs (possibly with the same error, via their own ctx
+		// check), so whatever the dispatcher never reached reports
+		// ErrCanceled instead of a zero value.
+		results[i] = Result{Index: i, Name: jobs[i].Name, Err: ErrCanceled}
+	}
+	e.RunEachContext(ctx, len(jobs), func(i, restartWorkers int) {
+		results[i] = e.runJob(ctx, i, jobs[i], restartWorkers)
 	})
 	return results
 }
@@ -119,6 +175,16 @@ func (e *Engine) RunBatch(jobs []Job) []Result {
 // keeps restarts sequential, and total concurrency stays ~bound instead
 // of bound².
 func (e *Engine) RunEach(n int, fn func(i, restartWorkers int)) {
+	e.RunEachContext(context.Background(), n, fn)
+}
+
+// RunEachContext is RunEach with request-scoped cancellation: once ctx
+// is done the dispatcher stops handing out indices, so fn never starts
+// for the remaining i (the caller decides what an undispatched slot
+// means — the batch runners mark it ErrCanceled). Indices already
+// dispatched run fn to completion; fn observes the same ctx and is
+// expected to cut its own work short.
+func (e *Engine) RunEachContext(ctx context.Context, n int, fn func(i, restartWorkers int)) {
 	bound := e.workers()
 	workers := bound
 	if workers > n {
@@ -142,16 +208,24 @@ func (e *Engine) RunEach(n int, fn func(i, restartWorkers int)) {
 			}
 		}()
 	}
+	done := ctx.Done()
+dispatch:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
 }
 
 // runJob executes one job, converting panics into per-job errors so a
-// misbehaving custom battery model cannot take the batch down.
-func (e *Engine) runJob(i int, job Job, restartWorkers int) (res Result) {
+// misbehaving custom battery model cannot take the batch down, and
+// context errors into ErrCanceled so front ends report cancellation
+// distinctly from scheduling failures.
+func (e *Engine) runJob(ctx context.Context, i int, job Job, restartWorkers int) (res Result) {
 	res = Result{Index: i, Name: job.Name}
 	defer func() {
 		if r := recover(); r != nil {
@@ -159,6 +233,16 @@ func (e *Engine) runJob(i int, job Job, restartWorkers int) (res Result) {
 			res.Schedule = nil
 		}
 	}()
+	if job.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, job.Timeout)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		// Dispatched in the same instant the batch was canceled.
+		res.Err = CanceledError(err)
+		return res
+	}
 	strategy, err := CanonicalStrategy(job.Strategy)
 	if err != nil {
 		res.Err = err
@@ -169,8 +253,11 @@ func (e *Engine) runJob(i int, job Job, restartWorkers int) (res Result) {
 		res.Err = ErrNilGraph
 		return res
 	}
-	res.Err = e.execute(strategy, job, &res, restartWorkers)
+	res.Err = e.execute(ctx, strategy, job, &res, restartWorkers)
 	if res.Err != nil {
+		if isContextErr(res.Err) {
+			res.Err = CanceledError(res.Err)
+		}
 		res.Schedule = nil
 	}
 	return res

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -73,8 +74,11 @@ func CanonicalStrategy(name string) (string, error) {
 
 // execute runs the canonical strategy for a job, filling res.
 // restartWorkers is the default fan-out for multistart jobs that did
-// not pin MultiStart.Workers themselves.
-func (e *Engine) execute(strategy string, job Job, res *Result, restartWorkers int) error {
+// not pin MultiStart.Workers themselves. ctx cancels the iterative
+// strategies mid-search; the closed-form baselines run to completion
+// (they are polynomial passes, orders of magnitude below one iterative
+// window sweep) after an up-front ctx check.
+func (e *Engine) execute(ctx context.Context, strategy string, job Job, res *Result, restartWorkers int) error {
 	switch strategy {
 	case StrategyIterative, StrategyMultiStart, StrategyWithIdle:
 		s, err := core.New(job.Graph, job.Deadline, job.Options)
@@ -84,15 +88,15 @@ func (e *Engine) execute(strategy string, job Job, res *Result, restartWorkers i
 		var r *core.Result
 		switch strategy {
 		case StrategyIterative:
-			r, err = s.Run()
+			r, err = s.RunContext(ctx)
 		case StrategyMultiStart:
 			ms := job.MultiStart
 			if ms.Workers == 0 {
 				ms.Workers = restartWorkers
 			}
-			r, err = core.RunMultiStart(s, ms)
+			r, err = core.RunMultiStartContext(ctx, s, ms)
 		case StrategyWithIdle:
-			r, err = s.Run()
+			r, err = s.RunContext(ctx)
 			if err == nil {
 				res.Idle, err = core.OptimizeIdle(job.Graph, r.Schedule, job.Deadline, s.Model(), 0)
 			}
@@ -107,6 +111,9 @@ func (e *Engine) execute(strategy string, job Job, res *Result, restartWorkers i
 		res.Iterations = r.Iterations
 		return nil
 	case StrategyRVDP, StrategyChowdhury, StrategyAllFastest, StrategyLowestPower:
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		var (
 			s   *sched.Schedule
 			err error

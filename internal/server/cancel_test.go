@@ -1,0 +1,171 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// slowBatch builds an NDJSON batch of n multistart jobs with distinct
+// seeds (so neither the cache nor single-flight collapses them), each
+// worth roughly `restarts` × 0.2ms of sequential search.
+func slowBatch(n, restarts int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, `{"name":"j%d","fixture":"g3","deadline":230,"strategy":"multistart","restarts":%d,"seed":%d}`+"\n", i, restarts, i+1)
+	}
+	return b.String()
+}
+
+// TestBatchClientDisconnectCancelsWork: a client that drops its
+// /v1/batch request mid-computation must stop the engine — the
+// instrumented `canceled` jobs counter moves long before the batch
+// could have finished, and the in-flight slot frees promptly.
+func TestBatchClientDisconnectCancelsWork(t *testing.T) {
+	s := New(Config{Workers: 1, CacheEntries: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// ~100 jobs × 2048 restarts ≈ tens of seconds of sequential work —
+	// far beyond this test's promptness windows, so completing the
+	// batch cannot be mistaken for canceling it.
+	body := slowBatch(100, 2048)
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/batch", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+
+	// Let the engine sink its teeth into the batch, then vanish.
+	time.Sleep(300 * time.Millisecond)
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("client request should fail once its context is canceled")
+	}
+
+	// The engine observes the disconnect: canceled jobs are counted and
+	// the request releases its in-flight slot well within the batch's
+	// multi-second natural runtime.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		m := s.Metrics()
+		if m.Canceled > 0 && m.InFlight == 0 {
+			if m.Canceled > uint64(100) {
+				t.Fatalf("canceled = %d jobs, batch only had 100", m.Canceled)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("engine never observed the disconnect: %+v", m)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// And /metrics itself reports the counter.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap MetricsSnapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Canceled == 0 {
+		t.Fatalf("/metrics canceled counter not exported: %+v", snap)
+	}
+}
+
+// TestScheduleTimeoutMS: a single job whose timeout_ms budget cannot
+// cover its multistart search comes back 422 with the canceled code —
+// and the aborted computation is not cached, so a budget-free retry
+// succeeds.
+func TestScheduleTimeoutMS(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, data := post(t, ts.URL+"/v1/schedule",
+		`{"fixture":"g3","deadline":230,"strategy":"multistart","restarts":4096,"seed":9,"timeout_ms":5}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422 (%s)", resp.StatusCode, data)
+	}
+	var res wire.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Code != wire.CodeCanceled || res.Error == "" {
+		t.Fatalf("want canceled code with an error, got %+v", res)
+	}
+
+	// Same job, no budget: must compute cleanly (nothing poisoned).
+	resp, data = post(t, ts.URL+"/v1/schedule",
+		`{"fixture":"g3","deadline":230,"strategy":"multistart","restarts":4096,"seed":9}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry status = %d (%s)", resp.StatusCode, data)
+	}
+	var retry wire.Result
+	if err := json.Unmarshal(data, &retry); err != nil || retry.Code != "" || retry.Error != "" || retry.Cost <= 0 {
+		t.Fatalf("retry should succeed: %+v (%v)", retry, err)
+	}
+}
+
+// TestRequestTimeoutConfig: Config.RequestTimeout bounds a whole batch
+// server-side; finished jobs keep results, unfinished ones carry the
+// canceled code, and the response is still a complete NDJSON stream.
+// Two malformed lines ride along: they must report their parse errors
+// (not the canceled code) and stay out of the `canceled` metric, which
+// must equal exactly the number of canceled-coded response lines.
+func TestRequestTimeoutConfig(t *testing.T) {
+	s := New(Config{Workers: 1, CacheEntries: -1, RequestTimeout: 250 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := "this is not json\n" + slowBatch(50, 1024) + "{\"also\":\"not a job\"}\n"
+	resp, data := post(t, ts.URL+"/v1/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, data)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 52 {
+		t.Fatalf("got %d result lines, want 52", len(lines))
+	}
+	completed, canceled, parseFailed := 0, 0, 0
+	for i, l := range lines {
+		var r wire.Result
+		if err := json.Unmarshal([]byte(l), &r); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		switch {
+		case r.Code == wire.CodeCanceled:
+			canceled++
+		case r.Error != "":
+			parseFailed++
+		default:
+			completed++
+		}
+	}
+	if parseFailed != 2 {
+		t.Fatalf("the 2 malformed lines must carry parse errors without the canceled code (got %d)", parseFailed)
+	}
+	if canceled == 0 {
+		t.Fatalf("the 250ms budget should cut a ~10s batch short (completed=%d canceled=%d)", completed, canceled)
+	}
+	if got := s.Metrics().Canceled; got != uint64(canceled) {
+		t.Fatalf("metrics canceled = %d, response carried %d canceled lines", got, canceled)
+	}
+}

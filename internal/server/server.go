@@ -16,10 +16,20 @@
 // Everything on the hot path is deterministic, so the service inherits
 // the engine's guarantee: a batch's result bytes do not depend on the
 // worker count, the concurrency limit or the cache state.
+//
+// Scheduling work is request-scoped: each handler passes its request's
+// context down through the cached engine into the per-window search, so
+// a client that disconnects (or a timeout_ms / Config.RequestTimeout
+// budget that expires, or a draining shutdown) stops burning cores
+// mid-batch. Jobs that finished before the cancellation keep their
+// results — bit-identical to an uncancelled run — and the rest carry
+// the "canceled" result code; the /metrics `canceled` counter tallies
+// them.
 package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -32,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/engine"
 	"repro/internal/taskgraph"
 	"repro/internal/wire"
 )
@@ -56,6 +67,13 @@ type Config struct {
 	// bounding the work a single request can pin the host with (the
 	// same threat the wire restart caps close); 0 means 10000.
 	MaxBatchJobs int
+	// RequestTimeout bounds the scheduling work of one request (the
+	// whole batch, not per job); 0 means unbounded. When it fires,
+	// unfinished jobs in the response carry the "canceled" code while
+	// finished ones keep their results — the same behavior a client
+	// disconnect triggers. Per-job budgets ride the wire instead
+	// (wire.Job.TimeoutMS).
+	RequestTimeout time.Duration
 	// AccessLog, when non-nil, receives one JSON line per request
 	// (method, path, status, bytes, duration).
 	AccessLog *log.Logger
@@ -86,6 +104,7 @@ type metrics struct {
 	errors   atomic.Uint64 // responses with status >= 400
 	rejected atomic.Uint64 // 503s from the in-flight limiter
 	jobs     atomic.Uint64 // scheduling jobs executed or served from cache
+	canceled atomic.Uint64 // jobs cut short: disconnect, shutdown or timeout
 	inFlight atomic.Int64  // requests currently holding an in-flight slot
 }
 
@@ -128,10 +147,35 @@ func New(cfg Config) *Server {
 
 // Close marks the server as draining: requests waiting for an in-flight
 // slot get an immediate 503 instead of blocking graceful shutdown until
-// their clients give up. In-flight work is unaffected. Safe to call
-// more than once.
+// their clients give up, and in-flight scheduling work is canceled —
+// each running request returns promptly, its unfinished jobs marked
+// with the "canceled" code (its finished ones keep their results). Safe
+// to call more than once.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() { close(s.closed) })
+}
+
+// requestContext derives the context scheduling work runs under: the
+// request's own (canceled when the client disconnects), bounded by
+// Config.RequestTimeout when set, and canceled when the server starts
+// draining. The returned cancel must be called when the request is
+// done.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	var cancel context.CancelFunc
+	if s.cfg.RequestTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	go func() {
+		select {
+		case <-s.closed:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	return ctx, cancel
 }
 
 // Cache exposes the result cache (nil when disabled), mainly for tests
@@ -198,8 +242,11 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.release()
 
-	res, hit := s.engine.Run(ejob)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	res, hit := s.engine.RunContext(ctx, ejob)
 	s.metrics.jobs.Add(1)
+	s.metrics.canceled.Add(countCanceled(res))
 	out := wire.FromEngine(0, res)
 	w.Header().Set("Content-Type", "application/json")
 	if hit {
@@ -244,8 +291,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.release()
 
-	results, hits := s.engine.RunBatch(jobs)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	results, hits := s.engine.RunBatchContext(ctx, jobs)
 	s.metrics.jobs.Add(uint64(len(jobs)))
+	// Count per-slot, skipping lines that failed to parse: their
+	// placeholder jobs can land on ErrCanceled too, but the response
+	// reports their parse error (wire.Results), so counting them would
+	// make /metrics disagree with what the client was told.
+	var canceledJobs uint64
+	for i := range results {
+		if parseErrs[i] == nil {
+			canceledJobs += countCanceled(results[i])
+		}
+	}
+	s.metrics.canceled.Add(canceledJobs)
 	hitCount := 0
 	for _, h := range hits {
 		if h {
@@ -260,6 +320,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return // client went away mid-stream; nothing to salvage
 		}
 	}
+}
+
+// countCanceled counts results cut short by cancellation (client
+// disconnect, server drain or per-job timeout) for the metrics counter.
+func countCanceled(results ...engine.Result) uint64 {
+	var n uint64
+	for _, res := range results {
+		if errors.Is(res.Err, engine.ErrCanceled) {
+			n++
+		}
+	}
+	return n
 }
 
 // handleFixtures serves the shared built-in graph registry.
@@ -286,6 +358,7 @@ type MetricsSnapshot struct {
 	ErrorCount    uint64            `json:"error_responses"`
 	Rejected      uint64            `json:"rejected"`
 	JobsTotal     uint64            `json:"jobs_total"`
+	Canceled      uint64            `json:"canceled"`
 	InFlight      int64             `json:"in_flight"`
 	MaxInFlight   int               `json:"max_in_flight"`
 	Cache         *cache.Stats      `json:"cache,omitempty"`
@@ -305,6 +378,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 		ErrorCount:  s.metrics.errors.Load(),
 		Rejected:    s.metrics.rejected.Load(),
 		JobsTotal:   s.metrics.jobs.Load(),
+		Canceled:    s.metrics.canceled.Load(),
 		InFlight:    s.metrics.inFlight.Load(),
 		MaxInFlight: s.cfg.MaxInFlight,
 	}

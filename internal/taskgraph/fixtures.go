@@ -2,6 +2,7 @@ package taskgraph
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -180,17 +181,6 @@ var G3Deadlines = []float64{100, 150, 230}
 func dpName(j int) string    { return "DP" + itoa(j+1) }
 func taskName(id int) string { return "T" + itoa(id) }
 
-// itoa is a tiny positive-int formatter to keep fixtures free of fmt.
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	var buf [8]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(buf[i:])
-}
+// itoa formats any int (FuzzReadJSON found the previous hand-rolled
+// 8-byte version overflowing on 9-digit task IDs from hostile specs).
+func itoa(v int) string { return strconv.Itoa(v) }

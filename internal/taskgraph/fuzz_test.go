@@ -1,0 +1,74 @@
+package taskgraph
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzReadJSON hammers the graph decoder with arbitrary bytes. A graph
+// that decodes cleanly must actually satisfy the Builder's invariants —
+// non-empty, uniform-or-not point counts reported consistently, finite
+// positive times — and must survive a write/read round trip with its
+// content intact, because testdata fixtures and wire requests both
+// travel through exactly this path.
+func FuzzReadJSON(f *testing.F) {
+	for _, name := range []string{"g2.json", "g3.json"} {
+		if data, err := os.ReadFile(filepath.Join("..", "..", "testdata", name)); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{"tasks":[{"id":1,"points":[{"current":10,"time":1}]}]}`))
+	f.Add([]byte(`{"name":"x","tasks":[{"id":1,"points":[{"current":10,"time":1}]},{"id":2,"points":[{"current":5,"time":2}],"parents":[1]}]}`))
+	f.Add([]byte(`{"tasks":[]}`))
+	f.Add([]byte(`{"tasks":[{"id":1,"points":[{"current":-1,"time":0}]}]}`))
+	f.Add([]byte(`{"tasks":[{"id":1,"points":[{"current":1,"time":1}],"parents":[1]}]}`)) // self-cycle
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Cap the spec size (just above the g3 fixture's): building a
+		// graph computes an O(n³)-worst-case reachability closure, so
+		// unbounded dense specs turn the fuzzer into a benchmark
+		// instead of a bug hunt.
+		if len(data) > 16<<10 {
+			return
+		}
+		g, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if g == nil || g.N() == 0 {
+			t.Fatal("clean decode produced an empty graph")
+		}
+		for i := 0; i < g.N(); i++ {
+			task := g.TaskAt(i)
+			if len(task.Points) == 0 {
+				t.Fatalf("task %d has no design points", task.ID)
+			}
+			for _, p := range task.Points {
+				if !(p.Time > 0) || !(p.Current >= 0) {
+					t.Fatalf("task %d carries an invalid point %+v past validation", task.ID, p)
+				}
+			}
+		}
+
+		// Round trip: what the graph writes, the reader accepts, and the
+		// two graphs have identical canonical specs.
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf, "roundtrip"); err != nil {
+			t.Fatalf("WriteJSON on a valid graph: %v", err)
+		}
+		g2, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		var buf2 bytes.Buffer
+		if err := g2.WriteJSON(&buf2, "roundtrip"); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("round trip not stable:\n%s\n---\n%s", buf.Bytes(), buf2.Bytes())
+		}
+	})
+}

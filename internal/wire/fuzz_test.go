@@ -1,0 +1,77 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzDecodeJobs hammers the NDJSON batch decoder with arbitrary bytes.
+// Invariants under fuzz:
+//
+//   - no panic, whatever the input;
+//   - the three outputs stay parallel (one slot per non-blank line);
+//   - a slot without an error holds a fully resolved job — non-nil
+//     graph, positive finite deadline, canonical bounds respected —
+//     because front ends hand exactly these to the engine unchecked;
+//   - a slot with an error holds the zero placeholder job (nil graph),
+//     which the engine rejects instantly.
+//
+// The seed corpus is real traffic: fixture jobs for every strategy, an
+// inline graph built from testdata/g2.json, and the malformed shapes
+// the decode tests pin down.
+func FuzzDecodeJobs(f *testing.F) {
+	f.Add([]byte(`{"fixture":"g3","deadline":230}`))
+	f.Add([]byte(`{"name":"a","fixture":"g2","deadline":75,"strategy":"rv-dp"}` + "\n" +
+		`{"name":"b","fixture":"g3","deadline":230,"strategy":"multistart","restarts":4,"seed":7}` + "\n" +
+		"\n" +
+		`{"name":"c","fixture":"g3","deadline":230,"strategy":"withidle","timeout_ms":1000}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"fixture":"g3","deadline":-1}` + "\n" + `{"deadline":230}`))
+	f.Add([]byte(`{"fixture":"g3","deadline":230}{"fixture":"g2","deadline":75}`))
+	f.Add([]byte(`{"graph":{"tasks":[{"id":1,"points":[{"current":10,"time":1}]}]},"deadline":5}`))
+	// An inline-graph job line assembled from the shared fixture file.
+	if spec, err := os.ReadFile(filepath.Join("..", "..", "testdata", "g2.json")); err == nil {
+		var compact bytes.Buffer
+		if json.Compact(&compact, spec) == nil {
+			f.Add([]byte(`{"graph":` + compact.String() + `,"deadline":75}`))
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		jobs, names, errs, err := DecodeJobs(bytes.NewReader(data))
+		if err != nil {
+			if jobs != nil || names != nil || errs != nil {
+				t.Fatalf("stream-level failure must return nil slices, got %d/%d/%d", len(jobs), len(names), len(errs))
+			}
+			return
+		}
+		if len(jobs) != len(names) || len(jobs) != len(errs) {
+			t.Fatalf("outputs not parallel: %d jobs, %d names, %d errs", len(jobs), len(names), len(errs))
+		}
+		for i := range jobs {
+			if errs[i] != nil {
+				if jobs[i].Graph != nil {
+					t.Fatalf("line %d: failed decode kept a graph", i)
+				}
+				continue
+			}
+			j := jobs[i]
+			if j.Graph == nil {
+				t.Fatalf("line %d: clean decode without a graph", i)
+			}
+			if !finite(j.Deadline) || j.Deadline <= 0 {
+				t.Fatalf("line %d: clean decode with deadline %g", i, j.Deadline)
+			}
+			if j.MultiStart.Restarts < 0 || j.MultiStart.Restarts > MaxRestarts ||
+				j.MultiStart.Workers < 0 || j.MultiStart.Workers > MaxRestartWorkers {
+				t.Fatalf("line %d: multistart knobs out of bounds: %+v", i, j.MultiStart)
+			}
+			if j.Timeout < 0 {
+				t.Fatalf("line %d: negative timeout %v", i, j.Timeout)
+			}
+		}
+	})
+}

@@ -22,9 +22,11 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -55,6 +57,11 @@ type Job struct {
 	Restarts       int   `json:"restarts,omitempty"`
 	Seed           int64 `json:"seed,omitempty"`
 	RestartWorkers int   `json:"restart_workers,omitempty"`
+	// TimeoutMS bounds this job's computation in milliseconds once it
+	// starts (0 = unbounded). A job that exceeds it fails with the
+	// "canceled" result code; jobs that finish in time are unaffected,
+	// so the field never changes a completed result's bytes.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // Result is the JSON schema of one scheduling outcome: one NDJSON line
@@ -91,7 +98,17 @@ type Result struct {
 	// bodies are byte-identical whether computed or cached (battschedd
 	// reports cache status out of band, via X-Cache headers).
 	Error string `json:"error,omitempty"`
+	// Code classifies the failure machine-readably. The only value
+	// today is CodeCanceled — the job was cut short by a client
+	// disconnect, a server shutdown or its timeout_ms budget — which
+	// callers should treat as retryable, unlike a deterministic
+	// scheduling failure (whose Error is all there is).
+	Code string `json:"code,omitempty"`
 }
+
+// CodeCanceled is the Result.Code of a job that did not complete
+// because its request was canceled or its timeout_ms budget expired.
+const CodeCanceled = "canceled"
 
 // MaxRestarts and MaxRestartWorkers bound the multistart knobs a wire
 // job may request. Every restart runs the full algorithm and the worker
@@ -102,6 +119,13 @@ const (
 	MaxRestarts       = 4096
 	MaxRestartWorkers = 256
 )
+
+// MaxTimeoutMS bounds timeout_ms at 24 hours. The conversion to
+// time.Duration multiplies by a million, so an unbounded field would
+// let a hostile value overflow int64 — wrapping to a near-zero budget
+// (every job instantly canceled) or a negative one (the budget
+// silently ignored). Far above any useful compute budget.
+const MaxTimeoutMS = 24 * 60 * 60 * 1000
 
 // DecodeJob strictly parses one JSON job: unknown fields and trailing
 // data after the object are rejected, so a concatenated or truncated
@@ -169,6 +193,8 @@ func (j Job) Validate() error {
 		return fmt.Errorf("job %s: \"restarts\" must be in [0, %d], got %d", j.label(), MaxRestarts, j.Restarts)
 	case j.RestartWorkers < 0 || j.RestartWorkers > MaxRestartWorkers:
 		return fmt.Errorf("job %s: \"restart_workers\" must be in [0, %d], got %d", j.label(), MaxRestartWorkers, j.RestartWorkers)
+	case j.TimeoutMS < 0 || j.TimeoutMS > MaxTimeoutMS:
+		return fmt.Errorf("job %s: \"timeout_ms\" must be in [0, %d], got %d", j.label(), MaxTimeoutMS, j.TimeoutMS)
 	case j.Fixture != "" && j.Graph != nil:
 		return fmt.Errorf("job %s: has both \"fixture\" and \"graph\"", j.label())
 	case j.Fixture == "" && j.Graph == nil:
@@ -201,6 +227,7 @@ func (j Job) ToEngine() (engine.Job, error) {
 			Seed:     j.Seed,
 			Workers:  j.RestartWorkers,
 		},
+		Timeout: time.Duration(j.TimeoutMS) * time.Millisecond,
 	}
 	if err := j.Validate(); err != nil {
 		return job, err
@@ -231,6 +258,9 @@ func FromEngine(index int, res engine.Result) Result {
 	out := Result{Index: index, Name: res.Name, Strategy: res.Strategy}
 	if res.Err != nil {
 		out.Error = res.Err.Error()
+		if errors.Is(res.Err, engine.ErrCanceled) {
+			out.Code = CodeCanceled
+		}
 		return out
 	}
 	out.Cost = res.Cost

@@ -1,10 +1,14 @@
 package wire
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/engine"
 	"repro/internal/taskgraph"
 )
 
@@ -42,6 +46,9 @@ func TestDecodeJobRejectsBadInput(t *testing.T) {
 		{"negative restarts", `{"fixture":"g3","deadline":230,"restarts":-1}`, "\"restarts\""},
 		{"restarts over cap", `{"fixture":"g3","deadline":230,"restarts":2000000000}`, "\"restarts\""},
 		{"restart_workers over cap", `{"fixture":"g3","deadline":230,"restart_workers":100000}`, "\"restart_workers\""},
+		{"negative timeout_ms", `{"fixture":"g3","deadline":230,"timeout_ms":-1}`, "\"timeout_ms\""},
+		{"timeout_ms over cap", `{"fixture":"g3","deadline":230,"timeout_ms":18446744073710}`, "\"timeout_ms\""},
+		{"ok timeout_ms", `{"fixture":"g3","deadline":230,"timeout_ms":1500}`, ""},
 		{"both graph and fixture", `{"fixture":"g3","graph":{"tasks":[]},"deadline":230}`, "both"},
 		{"neither graph nor fixture", `{"deadline":230}`, "needs a"},
 		{"negative current", `{"graph":{"tasks":[{"id":1,"points":[{"current":-10,"time":1}]}]},"deadline":5}`, "current must be finite and non-negative"},
@@ -126,5 +133,30 @@ func TestToEngineResolvesGraphs(t *testing.T) {
 	}
 	if _, err := (Job{Fixture: "nope", Deadline: 75}).ToEngine(); err == nil {
 		t.Fatal("unknown fixture must be rejected")
+	}
+
+	job, err = (Job{Fixture: "g2", Deadline: 75, TimeoutMS: 250}).ToEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Timeout != 250*time.Millisecond {
+		t.Fatalf("timeout_ms not resolved: %v", job.Timeout)
+	}
+}
+
+// TestFromEngineCanceledCode: a canceled job converts with the machine-
+// readable "canceled" code; ordinary failures and successes carry none.
+func TestFromEngineCanceledCode(t *testing.T) {
+	canceled := FromEngine(3, engine.Result{Name: "x", Err: fmt.Errorf("%w: context canceled", engine.ErrCanceled)})
+	if canceled.Code != CodeCanceled || canceled.Error == "" || canceled.Index != 3 {
+		t.Fatalf("canceled result converted wrong: %+v", canceled)
+	}
+	plain := FromEngine(0, engine.Result{Err: errors.New("boom")})
+	if plain.Code != "" {
+		t.Fatalf("ordinary failure must carry no code: %+v", plain)
+	}
+	ok := FromEngine(0, engine.RunBatch([]engine.Job{{Graph: taskgraph.G2(), Deadline: 75}}, 1)[0])
+	if ok.Code != "" || ok.Error != "" {
+		t.Fatalf("success must carry no code: %+v", ok)
 	}
 }
