@@ -92,6 +92,13 @@ type Trace = core.Trace
 // callers only need Run.
 type Scheduler = core.Scheduler
 
+// Runner executes one Scheduler repeatedly while reusing all mutable run
+// state — after a warm-up run the steady state performs zero heap
+// allocations (tracing off). Create one per goroutine with
+// Scheduler.NewRunner; the returned Result is owned by the Runner and
+// overwritten by its next run.
+type Runner = core.Runner
+
 // ErrDeadlineInfeasible is returned when even the all-fastest assignment
 // misses the deadline.
 var ErrDeadlineInfeasible = core.ErrDeadlineInfeasible

@@ -44,6 +44,31 @@ func TestFacadeRun(t *testing.T) {
 	}
 }
 
+func TestFacadeRunner(t *testing.T) {
+	g := battsched.G3()
+	s, err := battsched.New(g, 230, battsched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r *battsched.Runner = s.NewRunner()
+	for pass := 0; pass < 2; pass++ {
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost != want.Cost || res.Iterations != want.Iterations {
+			t.Fatalf("pass %d: runner result %+v != Run's %+v", pass, res, want)
+		}
+		if err := res.Schedule.ValidateDeadline(g, 230); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 func TestFacadeInfeasible(t *testing.T) {
 	g := smallGraph(t)
 	if _, err := battsched.Run(g, 2.5, battsched.Options{}); !errors.Is(err, battsched.ErrDeadlineInfeasible) {

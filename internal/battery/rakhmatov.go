@@ -52,6 +52,58 @@ func NewRakhmatov(beta float64) Rakhmatov {
 // Name implements Model.
 func (r Rakhmatov) Name() string { return fmt.Sprintf("rakhmatov(beta=%g)", r.Beta) }
 
+// seriesStackTerms bounds the stack-allocated series-constant buffer. The
+// paper uses 10 terms; anything beyond the bound falls back to a heap
+// slice (calibration sweeps occasionally probe larger series).
+const seriesStackTerms = 32
+
+// defaultSeriesKs is the b²m² table for the paper's configuration
+// (DefaultBeta, DefaultTerms) — the overwhelmingly common case, shared by
+// every evaluation instead of being recomputed per call. b² is squared
+// through a variable so it rounds like the runtime r.Beta*r.Beta (Go
+// constant arithmetic is exact and would differ by one ULP).
+var defaultSeriesKs = func() []float64 {
+	b := float64(DefaultBeta)
+	return fillSeriesKs(make([]float64, DefaultTerms), b*b)
+}()
+
+// fillSeriesKs writes dst[m-1] = b²m² for m = 1..len(dst) and returns dst.
+// Each constant is computed as ChargeLost's series loop always did
+// (m² = float64(m)·float64(m) first, then b²·m²), so hoisting the table
+// does not move a single bit of any ChargeLost sigma — the invariant the
+// scheduler's cost function depends on. ConstantLoadSigma historically
+// associated the same product as (b²·m)·m, which differs by one ULP for
+// some m; it now intentionally reads this table instead, a one-ULP shift
+// accepted because its consumers (the closed-form cross-check test and
+// the calibration fit's spread objective) are tolerance-based, and two
+// evaluators of the same Equation-1 constants should not disagree.
+func fillSeriesKs(dst []float64, b2 float64) []float64 {
+	for m := 1; m <= len(dst); m++ {
+		m2 := float64(m) * float64(m)
+		dst[m-1] = b2 * m2
+	}
+	return dst
+}
+
+// seriesKs returns the model's b²m² constants, preferring the shared
+// default table, then the caller's stack buffer, then (for oversized
+// series) a fresh slice. Shared by ChargeLost and ConstantLoadSigma; the
+// Lifetime solver inherits it through ChargeLost.
+func (r Rakhmatov) seriesKs(buf *[seriesStackTerms]float64) []float64 {
+	terms := r.Terms
+	if terms <= 0 {
+		terms = DefaultTerms
+	}
+	if r.Beta == DefaultBeta && terms == DefaultTerms {
+		return defaultSeriesKs
+	}
+	b2 := r.Beta * r.Beta
+	if terms <= seriesStackTerms {
+		return fillSeriesKs(buf[:terms], b2)
+	}
+	return fillSeriesKs(make([]float64, terms), b2)
+}
+
 // ChargeLost implements Model. It returns sigma(at) for the profile; times
 // beyond the profile end are rest, so sigma relaxes back toward the
 // delivered charge. It returns 0 for at <= 0.
@@ -59,7 +111,8 @@ func (r Rakhmatov) ChargeLost(p Profile, at float64) float64 {
 	if at <= 0 {
 		return 0
 	}
-	b2 := r.Beta * r.Beta
+	var buf [seriesStackTerms]float64
+	ks := r.seriesKs(&buf)
 	var sigma float64
 	var start float64
 	for _, iv := range p {
@@ -71,7 +124,7 @@ func (r Rakhmatov) ChargeLost(p Profile, at float64) float64 {
 			d = at - start
 		}
 		if iv.Current != 0 {
-			sigma += iv.Current * (d + 2*r.seriesTail(b2, at-start-d, at-start))
+			sigma += iv.Current * (d + 2*seriesTail(ks, at-start-d, at-start))
 		}
 		start += iv.Duration
 	}
@@ -82,16 +135,18 @@ func (r Rakhmatov) ChargeLost(p Profile, at float64) float64 {
 // where after = T - t_k - d_k (time since the interval ended) and
 // since = T - t_k (time since it began). Both are non-negative with
 // after <= since, so every term is non-negative and bounded by d_k.
-func (r Rakhmatov) seriesTail(b2, after, since float64) float64 {
-	terms := r.Terms
-	if terms <= 0 {
-		terms = DefaultTerms
-	}
+//
+// ks grows with m², so once exp(-k·after) underflows to zero so has
+// exp(-k·since) (since >= after) and every later term is exactly zero —
+// the early break skips only additions of +0.0, leaving sigma bit-exact.
+func seriesTail(ks []float64, after, since float64) float64 {
 	var s float64
-	for m := 1; m <= terms; m++ {
-		m2 := float64(m) * float64(m)
-		k := b2 * m2
-		s += (math.Exp(-k*after) - math.Exp(-k*since)) / k
+	for _, k := range ks {
+		ea := math.Exp(-k * after)
+		if ea == 0 {
+			break
+		}
+		s += (ea - math.Exp(-k*since)) / k
 	}
 	return s
 }
@@ -108,19 +163,16 @@ func (r Rakhmatov) Unavailable(p Profile, at float64) float64 {
 //
 //	sigma(T) = I [ T + 2 * sum_m (1 - exp(-b²m²T)) / (b²m²) ]
 //
-// Used by tests as an independent check of ChargeLost.
+// Used by tests as an independent check of ChargeLost and by the
+// calibration fit. It reads the same b²m² table as ChargeLost.
 func (r Rakhmatov) ConstantLoadSigma(current, T float64) float64 {
 	if T <= 0 {
 		return 0
 	}
-	b2 := r.Beta * r.Beta
-	terms := r.Terms
-	if terms <= 0 {
-		terms = DefaultTerms
-	}
+	var buf [seriesStackTerms]float64
+	ks := r.seriesKs(&buf)
 	var s float64
-	for m := 1; m <= terms; m++ {
-		k := b2 * float64(m) * float64(m)
+	for _, k := range ks {
 		s += (1 - math.Exp(-k*T)) / k
 	}
 	return current * (T + 2*s)

@@ -290,3 +290,88 @@ func relDiff(a, b float64) float64 {
 	}
 	return math.Abs(a-b) / math.Abs(b)
 }
+
+// TestSeriesKsTable pins the hoisted b²m² table: the shared default table
+// must be what fillSeriesKs produces, the non-default path must compute
+// the same constants as the old per-term expression (b²·(m·m), in that
+// association), and sigma must be bit-identical to a naive per-term
+// reimplementation of Equation 1.
+func TestSeriesKsTable(t *testing.T) {
+	var buf [seriesStackTerms]float64
+	def := Rakhmatov{Beta: DefaultBeta, Terms: DefaultTerms}
+	ks := def.seriesKs(&buf)
+	if &ks[0] != &defaultSeriesKs[0] {
+		t.Fatal("paper-configuration model should share the default table")
+	}
+	for _, beta := range []float64{DefaultBeta, 0.05, 1.7} {
+		for _, terms := range []int{1, 10, seriesStackTerms, seriesStackTerms + 8} {
+			m := Rakhmatov{Beta: beta, Terms: terms}
+			ks := m.seriesKs(&buf)
+			if len(ks) != terms {
+				t.Fatalf("beta=%g terms=%d: table has %d entries", beta, terms, len(ks))
+			}
+			b2 := beta * beta
+			for i, k := range ks {
+				mm := float64(i+1) * float64(i+1)
+				if want := b2 * mm; math.Float64bits(k) != math.Float64bits(want) {
+					t.Fatalf("beta=%g terms=%d: ks[%d]=%v, want %v", beta, terms, i, k, want)
+				}
+			}
+		}
+	}
+
+	// Naive Equation-1 evaluation, term by term with inline constants.
+	naive := func(r Rakhmatov, p Profile, at float64) float64 {
+		if at <= 0 {
+			return 0
+		}
+		b2 := r.Beta * r.Beta
+		var sigma, start float64
+		for _, iv := range p {
+			if start >= at {
+				break
+			}
+			d := iv.Duration
+			if start+d > at {
+				d = at - start
+			}
+			if iv.Current != 0 {
+				var s float64
+				for m := 1; m <= r.Terms; m++ {
+					m2 := float64(m) * float64(m)
+					k := b2 * m2
+					s += (math.Exp(-k*(at-start-d)) - math.Exp(-k*(at-start))) / k
+				}
+				sigma += iv.Current * (d + 2*s)
+			}
+			start += iv.Duration
+		}
+		return sigma
+	}
+	p := Profile{
+		{Current: 600, Duration: 10}, {Current: 0, Duration: 2000},
+		{Current: 400, Duration: 15}, {Current: 100, Duration: 30},
+	}
+	for _, r := range []Rakhmatov{NewRakhmatov(DefaultBeta), {Beta: 0.05, Terms: 20}, {Beta: 1.7, Terms: 40}} {
+		for _, at := range []float64{0.5, 10, 500, 2060, 5000} {
+			got := r.ChargeLost(p, at)
+			want := naive(r, p, at)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%s at=%g: ChargeLost %v != naive %v", r.Name(), at, got, want)
+			}
+		}
+	}
+}
+
+// TestChargeLostNoAllocs pins the zero-allocation property of the series
+// evaluation for both the shared-table and stack-buffer paths — the
+// scheduler's cost function calls this in its steady state.
+func TestChargeLostNoAllocs(t *testing.T) {
+	p := Profile{{Current: 600, Duration: 10}, {Current: 400, Duration: 15}}
+	T := p.TotalTime()
+	for _, r := range []Rakhmatov{NewRakhmatov(DefaultBeta), {Beta: 0.31, Terms: seriesStackTerms}} {
+		if a := testing.AllocsPerRun(200, func() { r.ChargeLost(p, T) }); a != 0 {
+			t.Fatalf("%s: ChargeLost allocates %v per run", r.Name(), a)
+		}
+	}
+}

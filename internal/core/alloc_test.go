@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/taskgraph"
+)
+
+// TestRunnerSteadyStateZeroAlloc pins the scratch-arena guarantee the
+// window-sweep benchmark measures: after the warm-up run, a Runner's
+// full iterative run — initial sequencing, every window's backward pass,
+// cost evaluation, Equation-4 resequencing and result materialization —
+// performs zero heap allocations (with tracing off).
+func TestRunnerSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc counts are meaningless")
+	}
+	for _, c := range []struct {
+		name  string
+		graph *taskgraph.Graph
+		d     float64
+	}{
+		{"G2", taskgraph.G2(), 75},
+		{"G3", taskgraph.G3(), taskgraph.G3Deadline},
+	} {
+		s := mustScheduler(t, c.graph, c.d, Options{})
+		r := s.NewRunner()
+		if _, err := r.Run(); err != nil {
+			t.Fatalf("%s: warm-up: %v", c.name, err)
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			if _, err := r.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("%s: steady-state Runner.Run allocates %v per run, want 0", c.name, allocs)
+		}
+	}
+}

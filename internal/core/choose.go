@@ -8,19 +8,25 @@ import (
 // evaluateWindows is the paper's EvaluateWindows: find the narrowest
 // feasible window start, then run the backward design-point selection for
 // every window from there down to the full design space, keeping the
-// minimum-sigma assignment. It returns (nil, +Inf, traces) when no window
+// minimum-sigma assignment. It returns (nil, +Inf, nil) when no window
 // yields a feasible assignment.
 //
 // CT(k) — the completion time if every task used column k — decreases as k
 // decreases (columns are time-sorted), so the start search widens the
 // window until CT fits the deadline.
 //
+// The returned assignment aliases scr.winAssign and is overwritten by the
+// next sweep on the same scratch. WindowTrace rows are built only when
+// Options.RecordTrace is set — with tracing off the sweep performs no
+// trace-only work (no per-window duration sums, no assignment maps, no
+// slice growth) and returns a nil trace.
+//
 // Cancellation: the sweep checks ctx before each window (and
 // chooseDesignPoints checks it between sequence positions), returning
 // early with whatever it has evaluated so far. Callers that care must
 // check ctx themselves afterwards — a partially swept result is only
 // used by RunContext when the context is still live.
-func (s *Scheduler) evaluateWindows(ctx context.Context, L []int) (bestAssign []int, bestCost float64, windows []WindowTrace) {
+func (s *Scheduler) evaluateWindows(ctx context.Context, L []int, scr *runScratch) (bestAssign []int, bestCost float64, windows []WindowTrace) {
 	start := s.m - 2
 	if start < 0 {
 		start = 0
@@ -45,20 +51,24 @@ func (s *Scheduler) evaluateWindows(ctx context.Context, L []int) (bestAssign []
 		if ctx.Err() != nil {
 			return bestAssign, bestCost, windows
 		}
-		assign, ok := s.chooseDesignPoints(ctx, L, ws)
-		wt := WindowTrace{WindowStart: ws + 1, Feasible: ok, Cost: math.Inf(1)}
+		assign, ok := s.chooseDesignPoints(ctx, L, ws, scr)
+		cost := math.Inf(1)
 		if ok {
-			wt.Cost = s.costOf(L, assign)
-			wt.Duration = s.totalTime(assign)
-			if s.opt.RecordTrace {
-				wt.Assignment = s.assignmentMap(assign)
-			}
-			if wt.Cost < bestCost {
-				bestCost = wt.Cost
-				bestAssign = assign
+			cost = s.costOfInto(L, assign, scr.profile[:0])
+			if cost < bestCost {
+				bestCost = cost
+				copy(scr.winAssign, assign)
+				bestAssign = scr.winAssign
 			}
 		}
-		windows = append(windows, wt)
+		if s.opt.RecordTrace {
+			wt := WindowTrace{WindowStart: ws + 1, Feasible: ok, Cost: cost}
+			if ok {
+				wt.Duration = s.totalTime(assign)
+				wt.Assignment = s.assignmentMap(assign)
+			}
+			windows = append(windows, wt)
+		}
 	}
 	return bestAssign, bestCost, windows
 }
@@ -89,20 +99,57 @@ func (s *Scheduler) totalTime(assign []int) float64 {
 // at their lowest-power points; the DPF computation escalates them
 // hypothetically to test deadline feasibility.
 //
+// The reference pass (refChooseDesignPoints) re-escalates from scratch for
+// every tagged design point, rescanning the full Energy Vector per
+// escalation step and re-deriving ENR/CIF over the whole sequence. This
+// pass exploits two structural facts instead:
+//
+//  1. The escalation move sequence is candidate-independent. Free tasks
+//     escalate strictly in Energy Vector order, each from the lowest-power
+//     column m-1 up to the window start ws, so every candidate's escalated
+//     state is a prefix of one fixed trajectory; candidates differ only in
+//     where along it they stop. The trajectory is built once per sequence
+//     position (buildTrajectory) with per-move te deltas and
+//     current-increase counts.
+//
+//  2. The stop point is monotone. Tagging a faster design point lowers the
+//     starting completion time, and IEEE addition is monotone, so as the
+//     candidate loop walks j from m-1 down to ws the stop indices never
+//     increase. The scratch's state mirrors (tmp, colCnt, curPos, enPos)
+//     therefore only ever rewind (rewindTo), amortizing to O(1) mirror
+//     updates per candidate.
+//
+// Float quantities are never carried by running deltas across candidates,
+// because float deltas round differently than fresh sums and the
+// equivalence contract (bit-identical Results, equivalence_test.go) must
+// hold even for inputs where a one-ULP difference is amplified (e.g.
+// ENR's normalization when Emax−Emin is tiny). Each candidate computes
+// its starting completion time and escalated charge-energy as fresh
+// left-to-right folds with the reference's exact operation order, and
+// replays the trajectory's te deltas exactly as the reference adds them —
+// so every comparison the reference makes is reproduced bit-for-bit.
+// Integer state (the column occupancy counts behind DPF, the
+// current-increase count behind CIF) is maintained incrementally, which
+// is exact by nature.
+//
+// Per candidate the cost is O(n + stop index + m) — two linear folds, the
+// te replay and the O(m) occupancy read — instead of the reference's
+// Θ(n·m + steps·n). The returned assignment aliases scr.assign.
+//
 // It returns the per-task-index assignment and whether a deadline-feasible
 // assignment was found (a finite B for the first sequence position implies
 // feasibility, because no free tasks remain there). A canceled ctx makes
 // it bail out between sequence positions with (nil, false) — each
-// position costs O(m²·n) suitability work, so this is the finest
-// cancellation grain that stays off the arithmetic hot path.
-func (s *Scheduler) chooseDesignPoints(ctx context.Context, L []int, ws int) ([]int, bool) {
+// position is the finest cancellation grain that stays off the
+// arithmetic hot path.
+func (s *Scheduler) chooseDesignPoints(ctx context.Context, L []int, ws int, scr *runScratch) ([]int, bool) {
 	n, m := s.n, s.m
-	assign := make([]int, n)
+	assign := scr.assign
 	for i := range assign {
 		assign[i] = m - 1
 	}
-	// posOf lets the DPF escalation find a task's sequence position.
-	posOf := make([]int, n)
+	// posOf lets the trajectory walk find a task's sequence position.
+	posOf := scr.posOf
 	for p, ti := range L {
 		posOf[ti] = p
 	}
@@ -114,42 +161,186 @@ func (s *Scheduler) chooseDesignPoints(ctx context.Context, L []int, ws int) ([]
 		return assign, tsum <= s.deadline+timeEps
 	}
 
-	scratch := newDPFScratch(n)
+	s.primeScratch(L, assign, scr)
 	for pos := n - 2; pos >= 0; pos-- {
 		if ctx.Err() != nil {
 			return nil, false
 		}
 		ti := L[pos]
+		// Compact the position's free tasks (sequence positions before
+		// pos) out of the Energy Vector; they all sit at column m-1.
+		scr.freeEV = scr.freeEV[:0]
+		for _, cand := range s.energyOrder {
+			if posOf[cand] < pos {
+				scr.freeEV = append(scr.freeEV, cand)
+			}
+		}
+		scr.colCnt[m-1] = pos
+		s.buildTrajectory(posOf, ws, scr)
 		bestB := math.Inf(1)
 		bestJ := -1
 		for j := m - 1; j >= ws; j-- {
-			b := s.suitability(L, posOf, assign, tsum, pos, ti, j, ws, scratch)
+			b := s.suitability(posOf, tsum, pos, ti, j, ws, scr)
 			if b < bestB {
 				bestB = b
 				bestJ = j
 			}
 		}
+		s.rewindTo(0, posOf, scr)
 		if bestJ < 0 || math.IsInf(bestB, 1) {
 			return nil, false
 		}
-		assign[ti] = bestJ
+		s.fixTask(pos, ti, bestJ, scr)
 		tsum += s.d[ti][bestJ]
 	}
 	return assign, s.totalTime(assign) <= s.deadline+timeEps
 }
 
+// primeScratch establishes the incremental-evaluation invariants for a
+// backward pass over the base state in assign: tmp mirrors assign, colCnt
+// is empty (each position sets its own free count), incBase is the
+// current-increase count of assign, and the curPos/enPos/teNow value
+// mirrors describe assign.
+func (s *Scheduler) primeScratch(L, assign []int, scr *runScratch) {
+	m := s.m
+	copy(scr.tmp, assign)
+	for c := range scr.colCnt {
+		scr.colCnt[c] = 0
+	}
+	scr.incBase = s.incOf(L, assign)
+	for p, ti := range L {
+		scr.curPos[p] = s.cf[ti*m+assign[ti]]
+		scr.enPos[p] = s.ef[ti*m+assign[ti]]
+	}
+	for i := 0; i < s.n; i++ {
+		scr.teNow[i] = s.df[i*m+assign[i]]
+	}
+	scr.nMoves, scr.walkK = 0, 0
+}
+
+// incOf returns the number of adjacent sequence pairs at which current
+// strictly increases (the CIF numerator) for order L under assign.
+func (s *Scheduler) incOf(L, assign []int) int {
+	inc := 0
+	prev := 0.0
+	for k, ti := range L {
+		c := s.cur[ti][assign[ti]]
+		if k > 0 && prev < c {
+			inc++
+		}
+		prev = c
+	}
+	return inc
+}
+
+// buildTrajectory materializes the position's full escalation trajectory:
+// every free task of scr.freeEV, in Energy Vector order, moved one column
+// at a time from the lowest-power column m-1 up to the window start ws.
+// For each move k it records the task (moveQ), the completion-time delta
+// exactly as the reference computes it (teDelta), and the sequence's
+// current-increase count after the move (incAfter[k+1]; incAfter[0] is the
+// unescalated base). The state mirrors are walked along, ending at the
+// fully escalated state with walkK == nMoves.
+func (s *Scheduler) buildTrajectory(posOf []int, ws int, scr *runScratch) {
+	m := s.m
+	k := 0
+	inc := scr.incBase
+	scr.incAfter[0] = inc
+	for _, q := range scr.freeEV {
+		pq := posOf[q]
+		for p := m - 1; p > ws; p-- {
+			scr.moveQ[k] = q
+			scr.teDelta[k] = s.df[q*m+p-1] - s.df[q*m+p]
+			inc += s.setTmpCol(pq, q, p-1, scr, true)
+			k++
+			scr.incAfter[k] = inc
+		}
+	}
+	scr.nMoves, scr.walkK = k, k
+}
+
+// rewindTo walks the state mirrors backwards along the trajectory until
+// only the first k moves remain applied. Stops are monotone within a
+// candidate loop (see chooseDesignPoints), so mirrors never need to walk
+// forward again before the next buildTrajectory. Mirror entries are
+// overwritten from the precomputed flats (never incremented), so nothing
+// drifts across candidates.
+func (s *Scheduler) rewindTo(k int, posOf []int, scr *runScratch) {
+	m := s.m
+	tmp := scr.tmp
+	for scr.walkK > k {
+		scr.walkK--
+		q := scr.moveQ[scr.walkK]
+		p := tmp[q] + 1 // the column the move left
+		scr.colCnt[p-1]--
+		scr.colCnt[p]++
+		tmp[q] = p
+		pq := posOf[q]
+		scr.curPos[pq] = s.cf[q*m+p]
+		scr.enPos[pq] = s.ef[q*m+p]
+	}
+}
+
+// setTmpCol moves task q (at sequence position pq) to column c in scr.tmp,
+// keeping the curPos/enPos value mirrors in lockstep, and returns the
+// resulting change to the current-increase count. Only the two sequence
+// pairs adjacent to pq can change, so the update is O(1). When trackCnt is
+// set, q is a free task and its colCnt bucket moves too.
+func (s *Scheduler) setTmpCol(pq, q, c int, scr *runScratch, trackCnt bool) int {
+	base := q*s.m + c
+	oldC := scr.curPos[pq]
+	newC := s.cf[base]
+	delta := 0
+	if pq > 0 {
+		left := scr.curPos[pq-1]
+		if left < oldC {
+			delta--
+		}
+		if left < newC {
+			delta++
+		}
+	}
+	if pq < s.n-1 {
+		right := scr.curPos[pq+1]
+		if oldC < right {
+			delta--
+		}
+		if newC < right {
+			delta++
+		}
+	}
+	if trackCnt {
+		scr.colCnt[scr.tmp[q]]--
+		scr.colCnt[c]++
+	}
+	scr.tmp[q] = c
+	scr.curPos[pq] = newC
+	scr.enPos[pq] = s.ef[base]
+	return delta
+}
+
+// fixTask commits task ti (sequence position pos) to column j: the working
+// assignment, the tmp and value mirrors, and the increase-count base
+// absorb the change in O(1). ti leaves the free set as pos decreases, so
+// colCnt is untouched (each position re-seeds its own free count).
+func (s *Scheduler) fixTask(pos, ti, j int, scr *runScratch) {
+	scr.incBase += s.setTmpCol(pos, ti, j, scr, false)
+	scr.teNow[ti] = s.df[ti*s.m+j]
+	scr.assign[ti] = j
+}
+
 // suitability computes B = SR + CR + ENR + CIF + DPF for tagging task ti
-// (at sequence position pos) with design point j, given the fixed-task
-// assignment so far (assign; free tasks at lowest power) and the fixed
-// time sum tsum. A +Inf result marks a deadline-violating choice.
-func (s *Scheduler) suitability(L, posOf, assign []int, tsum float64, pos, ti, j, ws int, scratch *dpfScratch) float64 {
+// (at sequence position pos) with design point j, given the fixed time sum
+// tsum and the position's trajectory in scr. A +Inf result marks a
+// deadline-violating choice.
+func (s *Scheduler) suitability(posOf []int, tsum float64, pos, ti, j, ws int, scr *runScratch) float64 {
 	d := s.deadline
-	sr := (d - (tsum + s.d[ti][j])) / d
+	sr := (d - (tsum + s.df[ti*s.m+j])) / d
 	cr := 0.0
 	if s.iMax > s.iMin {
-		cr = (s.cur[ti][j] - s.iMin) / (s.iMax - s.iMin)
+		cr = (s.cf[ti*s.m+j] - s.iMin) / (s.iMax - s.iMin)
 	}
-	enr, cif, dpf := s.calculateDPF(L, posOf, assign, pos, ti, j, ws, scratch)
+	enr, cif, dpf := s.calculateDPF(posOf, pos, ti, j, ws, scr)
 	if math.IsInf(dpf, 1) {
 		return math.Inf(1)
 	}
@@ -173,17 +364,6 @@ func (s *Scheduler) suitability(L, posOf, assign []int, tsum float64, pos, ti, j
 	return b
 }
 
-// dpfScratch holds the reusable buffers of calculateDPF so the inner loop
-// of chooseDesignPoints does not allocate per tagged point.
-type dpfScratch struct {
-	tmp    []int
-	frozen []bool
-}
-
-func newDPFScratch(n int) *dpfScratch {
-	return &dpfScratch{tmp: make([]int, n), frozen: make([]bool, n)}
-}
-
 // calculateDPF is the paper's CalculateDPF plus CalculateFactors: starting
 // from the tagged state (fixed tasks at their chosen points, task ti tagged
 // at j, free tasks at lowest power), escalate free tasks one design-point
@@ -192,44 +372,54 @@ func newDPFScratch(n int) *dpfScratch {
 // window's highest-power column are frozen. The returned DPF is the
 // design-point fraction of the escalated state (+Inf when the deadline
 // cannot be met); ENR and CIF are computed on the same escalated state.
-func (s *Scheduler) calculateDPF(L, posOf, assign []int, pos, ti, j, ws int, scratch *dpfScratch) (enr, cif, dpf float64) {
-	n, m := s.n, s.m
-	tmp := scratch.tmp[:n]
-	copy(tmp, assign)
-	tmp[ti] = j
-	frozen := scratch.frozen[:n]
-	for i := range frozen {
-		frozen[i] = false
-	}
-
-	te := s.totalTime(tmp)
+//
+// The escalation itself is a replay of the position's precomputed
+// trajectory (see chooseDesignPoints): the starting completion time is a
+// fresh task-index-order fold with ti substituted to j — the reference's
+// exact operation sequence — and the per-move deltas are added exactly as
+// the reference adds them, so the stop point falls on the same move for
+// the same reasons, bit for bit. Freeze bookkeeping needs no replay: a
+// frozen task never changes the state the factors read, only the probe
+// order, which the trajectory already encodes.
+func (s *Scheduler) calculateDPF(posOf []int, pos, ti, j, ws int, scr *runScratch) (enr, cif, dpf float64) {
+	m := s.m
 	d := s.deadline
+
+	// Starting completion time of the tagged state.
+	teNow := scr.teNow
+	saved := teNow[ti]
+	teNow[ti] = s.df[ti*m+j]
+	te := sumFloats(teNow)
+	teNow[ti] = saved
+
+	// Replay the trajectory's deltas to the candidate's stop point.
+	k := 0
+	deltas := scr.teDelta[:scr.nMoves]
+	exhausted := false
 	for te > d+timeEps {
-		// First free task in the Energy Vector: smallest average
-		// energy among unprocessed (position < pos), unfrozen tasks.
-		q := -1
-		for _, cand := range s.energyOrder {
-			if posOf[cand] < pos && !frozen[cand] {
-				q = cand
-				break
-			}
+		if k == len(deltas) {
+			// No free task can move: the deadline cannot be met.
+			exhausted = true
+			break
 		}
-		if q < 0 {
-			enr, cif = s.factorsOf(L, tmp)
-			return enr, cif, math.Inf(1)
-		}
-		p := tmp[q]
-		if p <= ws {
-			// Already at the window's highest-power column; freeze
-			// without moving (degenerate m==1 windows).
-			frozen[q] = true
-			continue
-		}
-		tmp[q] = p - 1
-		te += s.d[q][p-1] - s.d[q][p]
-		if p-1 == ws {
-			frozen[q] = true
-		}
+		te += deltas[k]
+		k++
+	}
+	s.rewindTo(k, posOf, scr)
+
+	// Factors of the escalated, tagged state: the charge-energy fold
+	// substitutes the tag into the sequence-order mirror; the increase
+	// count adds the tag's two adjacent pairs onto the trajectory's
+	// precomputed count.
+	enPos := scr.enPos
+	savedEn := enPos[pos]
+	enPos[pos] = s.ef[ti*m+j]
+	en := sumFloats(enPos)
+	enPos[pos] = savedEn
+	inc := scr.incAfter[k] + s.tagIncDelta(pos, ti, j, scr)
+	enr, cif = s.factorsFrom(en, inc)
+	if exhausted {
+		return enr, cif, math.Inf(1)
 	}
 
 	if pos == 0 {
@@ -238,10 +428,11 @@ func (s *Scheduler) calculateDPF(L, posOf, assign []int, pos, ti, j, ws int, scr
 		// emphasize using up the slack.
 		dpf = (d - te) / d
 	} else {
-		// Weighted column occupancy of the free tasks. Columns are
-		// weighted window-relative: the window's highest-power column
-		// ws weighs 1, decreasing linearly to 0 at the lowest-power
-		// column m-1 (Equation 2 when ws = 0; see DESIGN.md §2).
+		// Weighted column occupancy of the free tasks, read off the
+		// maintained per-column counts. Columns are weighted
+		// window-relative: the window's highest-power column ws weighs
+		// 1, decreasing linearly to 0 at the lowest-power column m-1
+		// (Equation 2 when ws = 0; see DESIGN.md §2).
 		ufac := m - 1 - ws
 		if ufac > 0 {
 			f := 1.0 / float64(ufac)
@@ -251,37 +442,60 @@ func (s *Scheduler) calculateDPF(L, posOf, assign []int, pos, ti, j, ws int, scr
 				if s.opt.DPFColumns == DPFWindowRelative {
 					col = ws + w
 				}
-				cnt := 0
-				for y := 0; y < pos; y++ {
-					if tmp[L[y]] == col {
-						cnt++
-					}
-				}
-				if cnt > 0 {
+				if cnt := scr.colCnt[col]; cnt > 0 {
 					dpf += float64(ufac-w) * f * float64(cnt) / x
 				}
 			}
 		}
 	}
-	enr, cif = s.factorsOf(L, tmp)
 	return enr, cif, dpf
 }
 
-// factorsOf is the paper's CalculateFactors: the current-increase fraction
-// and normalized energy ratio of executing the tasks in order L with the
-// assignment tmp.
-func (s *Scheduler) factorsOf(L []int, tmp []int) (enr, cif float64) {
-	var en float64
-	inc := 0
-	prev := 0.0
-	for k, ti := range L {
-		c := s.cur[ti][tmp[ti]]
-		en += c * s.d[ti][tmp[ti]]
-		if k > 0 && prev < c {
-			inc++
+// tagIncDelta returns the change to the current-increase count from
+// tagging task ti (sequence position pos) at column j, relative to its
+// base column m-1, against the mirrors' current (untagged) state.
+func (s *Scheduler) tagIncDelta(pos, ti, j int, scr *runScratch) int {
+	m := s.m
+	oldC := s.cf[ti*m+m-1]
+	newC := s.cf[ti*m+j]
+	delta := 0
+	if pos > 0 {
+		left := scr.curPos[pos-1]
+		if left < oldC {
+			delta--
 		}
-		prev = c
+		if left < newC {
+			delta++
+		}
 	}
+	if pos < s.n-1 {
+		right := scr.curPos[pos+1]
+		if oldC < right {
+			delta--
+		}
+		if newC < right {
+			delta++
+		}
+	}
+	return delta
+}
+
+// sumFloats folds the slice left to right. The hot path sums the teNow
+// (task-index order, matching totalTime) and enPos (sequence order,
+// matching refFactorsOf) mirrors through it, so both sums are bit-exact
+// replicas of the reference's.
+func sumFloats(xs []float64) float64 {
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// factorsFrom finishes the paper's CalculateFactors from the escalated
+// state's charge-energy sum and the incrementally maintained
+// current-increase count.
+func (s *Scheduler) factorsFrom(en float64, inc int) (enr, cif float64) {
 	if s.n > 1 {
 		cif = float64(inc) / float64(s.n-1)
 	}

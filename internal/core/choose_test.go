@@ -65,8 +65,7 @@ func TestDPFWorkedExampleFig4(t *testing.T) {
 	j := 1                         // DP2 (0-based 1)
 	ws := 0                        // full window
 
-	scratch := newDPFScratch(5)
-	enr, cif, dpf := s.calculateDPF(L, posOf, assign, pos, tagged, j, ws, scratch)
+	enr, cif, dpf, escalated := s.dpfForTest(L, posOf, assign, pos, tagged, j, ws)
 	if !almost(dpf, 1.0/3.0, 1e-12) {
 		t.Fatalf("DPF = %v, want 1/3", dpf)
 	}
@@ -76,10 +75,9 @@ func TestDPFWorkedExampleFig4(t *testing.T) {
 	if cif < 0 || cif > 1 {
 		t.Fatalf("CIF out of range: %v", cif)
 	}
-	// The escalated hypothetical state leaves T1 at DP2 and T2 at DP4;
-	// the scratch buffer records it.
-	if scratch.tmp[0] != 1 || scratch.tmp[1] != 3 {
-		t.Fatalf("escalated state = %v, want T1@DP2(1), T2@DP4(3)", scratch.tmp[:2])
+	// The escalated hypothetical state leaves T1 at DP2 and T2 at DP4.
+	if escalated[0] != 1 || escalated[1] != 3 {
+		t.Fatalf("escalated state = %v, want T1@DP2(1), T2@DP4(3)", escalated[:2])
 	}
 }
 
@@ -96,8 +94,7 @@ func TestDPFInfiniteWhenNoFreeTasks(t *testing.T) {
 	// 1+1 = 2, so anything below 9 is hopeless.
 	s.deadline = 8
 	assign := []int{3, 3, 3, 0, 3}
-	scratch := newDPFScratch(5)
-	_, _, dpf := s.calculateDPF(L, posOf, assign, 2, 2, 1, 0, scratch)
+	_, _, dpf, _ := s.dpfForTest(L, posOf, assign, 2, 2, 1, 0)
 	if !math.IsInf(dpf, 1) {
 		t.Fatalf("DPF = %v, want +Inf", dpf)
 	}
@@ -112,8 +109,7 @@ func TestDPFLastTaskUsesSlackRatio(t *testing.T) {
 	posOf := []int{0, 1, 2, 3, 4}
 	// Everything fixed except position 0 (T1), tagged at DP1 (time 1).
 	assign := []int{3, 2, 2, 1, 3} // others: 3+3+2+4 = 12
-	scratch := newDPFScratch(5)
-	_, _, dpf := s.calculateDPF(L, posOf, assign, 0, 0, 0, 0, scratch)
+	_, _, dpf, _ := s.dpfForTest(L, posOf, assign, 0, 0, 0, 0)
 	te := 1.0 + 3 + 3 + 2 + 4
 	want := (20 - te) / 20
 	if !almost(dpf, want, 1e-12) {
@@ -130,10 +126,9 @@ func TestEscalationOrderFollowsEnergyVector(t *testing.T) {
 	L := []int{0, 1, 2, 3, 4}
 	posOf := []int{0, 1, 2, 3, 4}
 	assign := []int{3, 3, 3, 0, 3}
-	scratch := newDPFScratch(5)
-	s.calculateDPF(L, posOf, assign, 2, 2, 1, 0, scratch)
-	if scratch.tmp[0] != 2 || scratch.tmp[1] != 3 {
-		t.Fatalf("escalation should move T1 first: state %v", scratch.tmp[:2])
+	_, _, _, escalated := s.dpfForTest(L, posOf, assign, 2, 2, 1, 0)
+	if escalated[0] != 2 || escalated[1] != 3 {
+		t.Fatalf("escalation should move T1 first: state %v", escalated[:2])
 	}
 }
 
@@ -143,8 +138,9 @@ func TestChooseDesignPointsRespectsWindow(t *testing.T) {
 	g := taskgraph.G3()
 	s := mustScheduler(t, g, taskgraph.G3Deadline, Options{})
 	L := s.initialSequence()
+	scr := s.newScratch()
 	for ws := 0; ws <= s.m-2; ws++ {
-		assign, ok := s.chooseDesignPoints(context.Background(), L, ws)
+		assign, ok := s.chooseDesignPoints(context.Background(), L, ws, scr)
 		if !ok {
 			continue
 		}
@@ -164,7 +160,7 @@ func TestChooseDesignPointsLastTaskLowestPower(t *testing.T) {
 	g := taskgraph.G3()
 	s := mustScheduler(t, g, taskgraph.G3Deadline, Options{})
 	L := s.initialSequence()
-	assign, ok := s.chooseDesignPoints(context.Background(), L, s.m-2)
+	assign, ok := s.chooseDesignPoints(context.Background(), L, s.m-2, s.newScratch())
 	if !ok {
 		t.Fatal("window m-1 should be feasible at the paper's deadline")
 	}
@@ -181,7 +177,7 @@ func TestEvaluateWindowsWidensUntilFeasible(t *testing.T) {
 	g := taskgraph.G3()
 	s := mustScheduler(t, g, 180, Options{RecordTrace: true})
 	L := s.initialSequence()
-	_, _, windows := s.evaluateWindows(context.Background(), L)
+	_, _, windows := s.evaluateWindows(context.Background(), L, s.newScratch())
 	if len(windows) != 3 {
 		t.Fatalf("evaluated %d windows, want 3", len(windows))
 	}
@@ -197,12 +193,12 @@ func TestEvaluateWindowsWidensUntilFeasible(t *testing.T) {
 func TestWindowPolicies(t *testing.T) {
 	g := taskgraph.G3()
 	first := mustScheduler(t, g, taskgraph.G3Deadline, Options{Windows: WindowFirstFeasible, RecordTrace: true})
-	_, _, w1 := first.evaluateWindows(context.Background(), first.initialSequence())
+	_, _, w1 := first.evaluateWindows(context.Background(), first.initialSequence(), first.newScratch())
 	if len(w1) != 1 || w1[0].WindowStart != 4 {
 		t.Fatalf("first-feasible windows = %v", w1)
 	}
 	full := mustScheduler(t, g, taskgraph.G3Deadline, Options{Windows: WindowFullOnly, RecordTrace: true})
-	_, _, w2 := full.evaluateWindows(context.Background(), full.initialSequence())
+	_, _, w2 := full.evaluateWindows(context.Background(), full.initialSequence(), full.newScratch())
 	if len(w2) != 1 || w2[0].WindowStart != 1 {
 		t.Fatalf("full-only windows = %v", w2)
 	}

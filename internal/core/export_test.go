@@ -1,0 +1,30 @@
+package core
+
+// dpfForTest drives one calculateDPF candidate evaluation from an explicit
+// state, for the worked-example tests: it primes a fresh scratch with the
+// base state implied by (L, posOf, assign) — the free tasks and the tagged
+// task must sit at the lowest-power column m-1, as they do inside
+// chooseDesignPoints — then evaluates tagging the task at sequence
+// position pos with design point j WITHOUT undoing the escalation, so the
+// escalated hypothetical state can be inspected.
+func (s *Scheduler) dpfForTest(L, posOf, assign []int, pos, ti, j, ws int) (enr, cif, dpf float64, escalated []int) {
+	scr := s.newScratch()
+	copy(scr.assign, assign)
+	copy(scr.posOf, posOf)
+	s.primeScratch(L, assign, scr)
+	for _, cand := range s.energyOrder {
+		if posOf[cand] < pos {
+			scr.freeEV = append(scr.freeEV, cand)
+		}
+	}
+	for _, f := range L[:pos] {
+		scr.colCnt[assign[f]]++
+	}
+	s.buildTrajectory(posOf, ws, scr)
+	enr, cif, dpf = s.calculateDPF(posOf, pos, ti, j, ws, scr)
+	// calculateDPF rewinds the mirrors to the candidate's stop point and
+	// leaves the tag out of them; reapply it for inspection.
+	escalated = append([]int(nil), scr.tmp...)
+	escalated[ti] = j
+	return enr, cif, dpf, escalated
+}

@@ -16,12 +16,15 @@ import (
 // searches at a controlled cost).
 
 // evaluateWindowsParallel is evaluateWindows with each window's backward
-// pass running in its own goroutine. Results are identical to the
-// sequential path (windows are independent and the merge is
-// deterministic); only wall-clock changes. A canceled ctx makes every
-// window's pass bail out, so the wait below stays short; the merged
-// result is then meaningless and callers must check ctx.
-func (s *Scheduler) evaluateWindowsParallel(ctx context.Context, L []int) (bestAssign []int, bestCost float64, windows []WindowTrace) {
+// pass running in its own goroutine. Each window slot owns a runScratch of
+// its own (kept in scr.slots and reused across iterations), so the passes
+// share no mutable state. Results are identical to the sequential path
+// (windows are independent and the merge walks the slots in the sweep's
+// order with the same strict-improvement rule); only wall-clock changes.
+// A canceled ctx makes every window's pass bail out, so the wait below
+// stays short; the merged result is then meaningless and callers must
+// check ctx.
+func (s *Scheduler) evaluateWindowsParallel(ctx context.Context, L []int, scr *runScratch) (bestAssign []int, bestCost float64, windows []WindowTrace) {
 	start := s.m - 2
 	if start < 0 {
 		start = 0
@@ -40,37 +43,60 @@ func (s *Scheduler) evaluateWindowsParallel(ctx context.Context, L []int) (bestA
 		start = 0
 	}
 	count := start - lo + 1
-	type slot struct {
-		trace  WindowTrace
-		assign []int
+	for len(scr.slots) < count {
+		scr.slots = append(scr.slots, s.newScratch())
 	}
-	slots := make([]slot, count)
+	if cap(scr.slotCost) < count {
+		scr.slotCost = make([]float64, count)
+		scr.slotOK = make([]bool, count)
+		scr.slotWT = make([]WindowTrace, count)
+	}
+	slotCost := scr.slotCost[:count]
+	slotOK := scr.slotOK[:count]
+	slotWT := scr.slotWT[:count]
 	var wg sync.WaitGroup
 	for k := 0; k < count; k++ {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
 			ws := start - k
-			assign, ok := s.chooseDesignPoints(ctx, L, ws)
-			wt := WindowTrace{WindowStart: ws + 1, Feasible: ok, Cost: math.Inf(1)}
+			sc := scr.slots[k]
+			assign, ok := s.chooseDesignPoints(ctx, L, ws, sc)
+			cost := math.Inf(1)
 			if ok {
-				wt.Cost = s.costOf(L, assign)
-				wt.Duration = s.totalTime(assign)
-				if s.opt.RecordTrace {
+				cost = s.costOfInto(L, assign, sc.profile[:0])
+			}
+			slotOK[k] = ok
+			slotCost[k] = cost
+			if s.opt.RecordTrace {
+				wt := WindowTrace{WindowStart: ws + 1, Feasible: ok, Cost: cost}
+				if ok {
+					wt.Duration = s.totalTime(assign)
 					wt.Assignment = s.assignmentMap(assign)
 				}
+				slotWT[k] = wt
 			}
-			slots[k] = slot{trace: wt, assign: assign}
 		}(k)
 	}
 	wg.Wait()
+	// Deterministic merge: walk the slots in sweep order with the same
+	// strict-improvement rule as the sequential loop, then copy the
+	// winner into the parent scratch (slot buffers are reused next
+	// iteration).
 	bestCost = math.Inf(1)
-	for k := range slots {
-		windows = append(windows, slots[k].trace)
-		if slots[k].trace.Feasible && slots[k].trace.Cost < bestCost {
-			bestCost = slots[k].trace.Cost
-			bestAssign = slots[k].assign
+	bestSlot := -1
+	for k := 0; k < count; k++ {
+		if slotOK[k] && slotCost[k] < bestCost {
+			bestCost = slotCost[k]
+			bestSlot = k
 		}
+	}
+	if bestSlot >= 0 {
+		copy(scr.winAssign, scr.slots[bestSlot].assign)
+		bestAssign = scr.winAssign
+	}
+	if s.opt.RecordTrace {
+		windows = append(windows, slotWT...)
 	}
 	return bestAssign, bestCost, windows
 }
@@ -94,9 +120,11 @@ type MultiStartOptions struct {
 	// requires the battery model to tolerate concurrent ChargeLost
 	// calls (all internal/battery models do; a stateful custom
 	// Options.Model must synchronize itself or keep Workers <= 1).
-	// The result is bit-identical for every Workers value: the restart
-	// weight vectors are pre-drawn from one RNG stream and the winner
-	// is reduced over seed index, never completion order.
+	// Every restart carries its own scratch arena, so workers share no
+	// mutable state. The result is bit-identical for every Workers
+	// value: the restart weight vectors are pre-drawn from one RNG
+	// stream and the winner is reduced over seed index, never
+	// completion order.
 	Workers int
 }
 
@@ -149,8 +177,9 @@ func RunMultiStartContext(ctx context.Context, s *Scheduler, opts MultiStartOpti
 	}
 
 	// Slot 0 is the deterministic run; slot r+1 is restart r. All runs
-	// share s, which is immutable while running — every run clones its
-	// mutable state (sequence, best-so-far, DPF scratch) locally.
+	// share s, which is immutable while running — every run owns a
+	// scratch arena for its mutable state (sequences, best-so-far, the
+	// DPF escalation buffers).
 	results := make([]*Result, opts.Restarts+1)
 	errs := make([]error, opts.Restarts+1)
 	sem := make(chan struct{}, opts.Workers)
@@ -192,46 +221,19 @@ func RunMultiStartContext(ctx context.Context, s *Scheduler, opts MultiStartOpti
 }
 
 // runFromContext executes the iterative loop starting from an explicit
-// initial sequence (dense indices) instead of SequenceDecEnergy's,
-// checking ctx between iterations and inside window evaluation.
+// initial sequence (dense indices) instead of SequenceDecEnergy's, with
+// its own scratch arena, checking ctx between iterations and inside
+// window evaluation.
 func (s *Scheduler) runFromContext(ctx context.Context, initial []int) (*Result, error) {
 	if s.g.MinTotalTime() > s.deadline+timeEps {
 		return nil, ErrDeadlineInfeasible
 	}
-	L := append([]int(nil), initial...)
-	bestCost := math.Inf(1)
-	var bestOrder, bestAssign []int
-	prev := math.Inf(1)
-	iterations := 0
-	for iter := 0; iter < s.opt.MaxIterations; iter++ {
-		iterations++
-		wAssign, wCost, _ := s.windows(ctx, L)
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if wAssign == nil {
-			wAssign = make([]int, s.n)
-			wCost = s.costOf(L, wAssign)
-		}
-		iterCost := wCost
-		iterOrder := L
-		if !s.opt.DisableResequencing {
-			Lw := s.weightedSequence(wAssign)
-			if cw := s.costOf(Lw, wAssign); cw < iterCost {
-				iterCost = cw
-				iterOrder = Lw
-			}
-			L = Lw
-		}
-		if iterCost < bestCost {
-			bestCost = iterCost
-			bestOrder = append(bestOrder[:0], iterOrder...)
-			bestAssign = append(bestAssign[:0], wAssign...)
-		}
-		if iterCost >= prev || s.opt.DisableResequencing {
-			break
-		}
-		prev = iterCost
+	scr := s.newScratch()
+	L := scr.seqA[:0]
+	L = append(L, initial...)
+	bestOrder, bestAssign, bestCost, iterations, err := s.runLoop(ctx, scr, L, nil)
+	if err != nil {
+		return nil, err
 	}
 	schedule := s.scheduleFrom(bestOrder, bestAssign)
 	p := schedule.Profile(s.g)

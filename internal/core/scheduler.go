@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"repro/internal/battery"
@@ -43,7 +44,9 @@ type Result struct {
 // Scheduler is safe for repeated and for concurrent Run calls (the
 // restart fan-out of RunMultiStart relies on this) — provided the
 // battery model is safe for concurrent ChargeLost calls, which every
-// model in internal/battery is (they are stateless values).
+// model in internal/battery is (they are stateless values). Every run
+// carries its own scratch arena (see runScratch), so concurrent runs
+// never share mutable state.
 type Scheduler struct {
 	g        *taskgraph.Graph
 	deadline float64
@@ -53,16 +56,28 @@ type Scheduler struct {
 	n, m int
 	// d and cur are the paper's D and I matrices indexed
 	// [taskIndex][column]: times ascending, currents non-increasing.
+	// The reference evaluators (reference.go, deliberately kept in the
+	// pre-optimization shape) and the cold paths read these; the hot
+	// path reads the flat mirrors below.
 	d, cur [][]float64
-	avgCur []float64
-	avgEn  []float64
-	iMin   float64
-	iMax   float64
-	eMin   float64
-	eMax   float64
+	// df, cf and ef are the same matrices flattened row-major
+	// ([task*m+column]) plus the per-point charge-energy I·t — the hot
+	// path reads these to stay on contiguous memory. The duplication is
+	// n·m float64s per matrix, filled once in New and immutable after.
+	df, cf, ef []float64
+	avgCur     []float64
+	avgEn      []float64
+	iMin       float64
+	iMax       float64
+	eMin       float64
+	eMax       float64
 	// energyOrder is the paper's Energy Vector E: task indices sorted
 	// by ascending average energy (ties by smaller ID).
 	energyOrder []int
+	// reachBits[i] is the reachable set of task i (descendants including
+	// i) as a bitset over dense task indices — the Equation-4 weights
+	// iterate it without touching the graph's per-task index slices.
+	reachBits [][]uint64
 }
 
 // New validates the inputs and prepares a scheduler. The graph must give
@@ -90,6 +105,9 @@ func New(g *taskgraph.Graph, deadline float64, opt Options) (*Scheduler, error) 
 		m:        m,
 		d:        make([][]float64, n),
 		cur:      make([][]float64, n),
+		df:       make([]float64, n*m),
+		cf:       make([]float64, n*m),
+		ef:       make([]float64, n*m),
 		avgCur:   make([]float64, n),
 		avgEn:    make([]float64, n),
 	}
@@ -100,6 +118,9 @@ func New(g *taskgraph.Graph, deadline float64, opt Options) (*Scheduler, error) 
 		for j := 0; j < m; j++ {
 			s.d[i][j] = t.Points[j].Time
 			s.cur[i][j] = t.Points[j].Current
+			s.df[i*m+j] = t.Points[j].Time
+			s.cf[i*m+j] = t.Points[j].Current
+			s.ef[i*m+j] = t.Points[j].Current * t.Points[j].Time
 		}
 		s.avgCur[i] = t.AvgCurrent()
 		s.avgEn[i] = t.AvgEnergy()
@@ -117,6 +138,16 @@ func New(g *taskgraph.Graph, deadline float64, opt Options) (*Scheduler, error) 
 		}
 		return g.IDAt(ia) < g.IDAt(ib)
 	})
+	words := (n + 63) / 64
+	backing := make([]uint64, n*words)
+	s.reachBits = make([][]uint64, n)
+	for i := 0; i < n; i++ {
+		row := backing[i*words : (i+1)*words]
+		for _, u := range g.ReachableIndices(i) {
+			row[u/64] |= 1 << uint(u%64)
+		}
+		s.reachBits[i] = row
+	}
 	return s, nil
 }
 
@@ -147,80 +178,17 @@ func (s *Scheduler) RunContext(ctx context.Context) (*Result, error) {
 	if s.g.MinTotalTime() > s.deadline+timeEps {
 		return nil, ErrDeadlineInfeasible
 	}
+	scr := s.newScratch()
+	L := s.initialSequenceInto(scr, scr.seqA)
 	var trace *Trace
-	L := s.initialSequence()
 	if s.opt.RecordTrace {
 		trace = &Trace{InitialSequence: s.idsOf(L)}
 	}
-
-	bestCost := math.Inf(1)
-	var bestOrder []int
-	var bestAssign []int
-	prevIterCost := math.Inf(1)
-	iterations := 0
-
-	for iter := 0; iter < s.opt.MaxIterations; iter++ {
-		iterations++
-		wBestAssign, wBestCost, windows := s.windows(ctx, L)
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		it := IterationTrace{WindowCost: wBestCost, BestWindow: -1}
-		if s.opt.RecordTrace {
-			it.Sequence = s.idsOf(L)
-			it.Windows = windows
-			for k := range windows {
-				if windows[k].Feasible && (it.BestWindow < 0 || windows[k].Cost < windows[it.BestWindow].Cost) {
-					it.BestWindow = k
-				}
-			}
-		}
-		if wBestAssign == nil {
-			// No window produced a feasible assignment. The paper's
-			// pseudocode does not reach this state for its inputs;
-			// we fall back to the always-feasible all-fastest
-			// assignment so a caller with a met-able deadline never
-			// gets an error (see DESIGN.md §2).
-			wBestAssign = make([]int, s.n)
-			wBestCost = s.costOf(L, wBestAssign)
-		}
-
-		iterCost := wBestCost
-		iterOrder := L
-		if !s.opt.DisableResequencing {
-			Lw := s.weightedSequence(wBestAssign)
-			cw := s.costOf(Lw, wBestAssign)
-			if s.opt.RecordTrace {
-				it.WeightedSequence = s.idsOf(Lw)
-				it.WeightedCost = cw
-			}
-			if cw < iterCost {
-				iterCost = cw
-				iterOrder = Lw
-			}
-			L = Lw
-		}
-		it.IterationCost = iterCost
-		if s.opt.RecordTrace {
-			it.Assignment = s.assignmentMap(wBestAssign)
-			trace.Iterations = append(trace.Iterations, it)
-		}
-
-		if iterCost < bestCost {
-			bestCost = iterCost
-			bestOrder = append([]int(nil), iterOrder...)
-			bestAssign = append([]int(nil), wBestAssign...)
-		}
-		if iterCost >= prevIterCost || s.opt.DisableResequencing {
-			break
-		}
-		prevIterCost = iterCost
+	bestOrder, bestAssign, bestCost, iterations, err := s.runLoop(ctx, scr, L, trace)
+	if err != nil {
+		return nil, err
 	}
-
-	schedule := &sched.Schedule{
-		Order:      s.idsOf(bestOrder),
-		Assignment: s.assignmentMap(bestAssign),
-	}
+	schedule := s.scheduleFrom(bestOrder, bestAssign)
 	p := schedule.Profile(s.g)
 	dur := p.TotalTime()
 	return &Result{
@@ -231,6 +199,87 @@ func (s *Scheduler) RunContext(ctx context.Context) (*Result, error) {
 		Iterations: iterations,
 		Trace:      trace,
 	}, nil
+}
+
+// runLoop is the paper's outer improvement loop, shared by every entry
+// point (RunContext, runFromContext, Runner): evaluate the window sweep
+// for the current sequence, fall back to the always-feasible all-fastest
+// assignment if no window was feasible, resequence by Equation 4, keep the
+// best, and stop at the first non-improving iteration.
+//
+// L must alias scr.seqA (or be a slice written into it); trace is nil
+// unless the caller wants per-iteration history. The returned order and
+// assignment alias scr.ordBest/scr.asgBest — callers materialize them
+// before reusing the scratch.
+func (s *Scheduler) runLoop(ctx context.Context, scr *runScratch, L []int, trace *Trace) (bestOrder, bestAssign []int, bestCost float64, iterations int, err error) {
+	bestCost = math.Inf(1)
+	prevIterCost := math.Inf(1)
+	cur, next := L, scr.seqB
+
+	for iter := 0; iter < s.opt.MaxIterations; iter++ {
+		iterations++
+		wAssign, wCost, windows := s.windows(ctx, cur, scr)
+		if err = ctx.Err(); err != nil {
+			return nil, nil, 0, 0, err
+		}
+		it := IterationTrace{WindowCost: wCost, BestWindow: -1}
+		if trace != nil {
+			it.Sequence = s.idsOf(cur)
+			it.Windows = windows
+			for k := range windows {
+				if windows[k].Feasible && (it.BestWindow < 0 || windows[k].Cost < windows[it.BestWindow].Cost) {
+					it.BestWindow = k
+				}
+			}
+		}
+		if wAssign == nil {
+			// No window produced a feasible assignment. The paper's
+			// pseudocode does not reach this state for its inputs;
+			// we fall back to the always-feasible all-fastest
+			// assignment so a caller with a met-able deadline never
+			// gets an error (see DESIGN.md §2).
+			wAssign = scr.fallback
+			for i := range wAssign {
+				wAssign[i] = 0
+			}
+			wCost = s.costOfInto(cur, wAssign, scr.profile[:0])
+		}
+
+		iterCost := wCost
+		iterOrder := cur
+		if !s.opt.DisableResequencing {
+			Lw := s.weightedSequenceInto(wAssign, scr, next)
+			cw := s.costOfInto(Lw, wAssign, scr.profile[:0])
+			if trace != nil {
+				it.WeightedSequence = s.idsOf(Lw)
+				it.WeightedCost = cw
+			}
+			if cw < iterCost {
+				iterCost = cw
+				iterOrder = Lw
+			}
+			// Double-buffer swap: Lw drives the next iteration; the
+			// old sequence buffer becomes the next resequencing
+			// target (after iterOrder is consumed below).
+			cur, next = Lw, cur
+		}
+		it.IterationCost = iterCost
+		if trace != nil {
+			it.Assignment = s.assignmentMap(wAssign)
+			trace.Iterations = append(trace.Iterations, it)
+		}
+
+		if iterCost < bestCost {
+			bestCost = iterCost
+			scr.ordBest = append(scr.ordBest[:0], iterOrder...)
+			scr.asgBest = append(scr.asgBest[:0], wAssign...)
+		}
+		if iterCost >= prevIterCost || s.opt.DisableResequencing {
+			break
+		}
+		prevIterCost = iterCost
+	}
+	return scr.ordBest, scr.asgBest, bestCost, iterations, nil
 }
 
 // initialSequence is the paper's SequenceDecEnergy: list scheduling with a
@@ -244,23 +293,39 @@ func (s *Scheduler) initialSequence() []int {
 	return s.listSchedule(w)
 }
 
+// initialSequenceInto is initialSequence writing into the scratch-backed
+// buffer out.
+func (s *Scheduler) initialSequenceInto(scr *runScratch, out []int) []int {
+	w := s.avgCur
+	if s.opt.InitialOrder == WeightAvgEnergy {
+		w = s.avgEn
+	}
+	return s.listScheduleCore(w, scr.indeg, scr.heap[:0], out[:0])
+}
+
 // InitialSequence exposes the first-iteration order as task IDs (used by
 // tests and the experiment harness).
 func (s *Scheduler) InitialSequence() []int { return s.idsOf(s.initialSequence()) }
 
-// weightedSequence is the paper's FindWeightedSequence: Equation 4 assigns
-// every task the sum of the assigned-design-point currents over the
-// subgraph rooted at it, then list-schedules by decreasing weight.
-func (s *Scheduler) weightedSequence(assign []int) []int {
-	w := make([]float64, s.n)
+// weightedSequenceInto is the paper's FindWeightedSequence: Equation 4
+// assigns every task the sum of the assigned-design-point currents over
+// the subgraph rooted at it (read off the precomputed reachability
+// bitsets), then list-schedules by decreasing weight into out.
+func (s *Scheduler) weightedSequenceInto(assign []int, scr *runScratch, out []int) []int {
+	w := scr.weights
 	for i := 0; i < s.n; i++ {
 		var sum float64
-		for _, u := range s.g.ReachableIndices(i) {
-			sum += s.cur[u][assign[u]]
+		for wi, word := range s.reachBits[i] {
+			base := wi * 64
+			for word != 0 {
+				u := base + bits.TrailingZeros64(word)
+				sum += s.cur[u][assign[u]]
+				word &= word - 1
+			}
 		}
 		w[i] = sum
 	}
-	return s.listSchedule(w)
+	return s.listScheduleCore(w, scr.indeg, scr.heap[:0], out[:0])
 }
 
 // WeightedSequence exposes Equation-4 resequencing for a given assignment
@@ -270,53 +335,119 @@ func (s *Scheduler) WeightedSequence(assignment map[int]int) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.idsOf(s.weightedSequence(assign)), nil
+	scr := s.newScratch()
+	return s.idsOf(s.weightedSequenceInto(assign, scr, scr.seqA)), nil
 }
 
 // listSchedule runs the modified list scheduler both sequencers share:
 // repeatedly emit the ready task with the largest weight (ties broken by
 // smaller task ID). The result is a topological order by construction.
 func (s *Scheduler) listSchedule(weight []float64) []int {
-	indeg := make([]int, s.n)
+	return s.listScheduleCore(weight, make([]int, s.n), make([]int, 0, s.n), make([]int, 0, s.n))
+}
+
+// listScheduleCore is the shared list-scheduling kernel: ready tasks live
+// in a max-heap keyed on (weight, -taskID), so each emission costs
+// O(log n) instead of the former linear scan plus slice-shift removal.
+// The heap's selection rule is exactly the scan's ("largest weight, ties
+// to the smaller task ID") and that ordering is total over distinct tasks,
+// so the emitted order is identical. indeg, h and out are caller-supplied
+// buffers (h and out are appended to from length zero).
+func (s *Scheduler) listScheduleCore(weight []float64, indeg, h, out []int) []int {
 	for i := 0; i < s.n; i++ {
 		indeg[i] = len(s.g.ParentIndices(i))
 	}
-	ready := make([]int, 0, s.n)
 	for i := 0; i < s.n; i++ {
 		if indeg[i] == 0 {
-			ready = append(ready, i)
+			h = s.heapPush(h, weight, i)
 		}
 	}
-	order := make([]int, 0, s.n)
-	for len(ready) > 0 {
-		pick := 0
-		for k := 1; k < len(ready); k++ {
-			a, b := ready[k], ready[pick]
-			if weight[a] > weight[b] || (weight[a] == weight[b] && s.g.IDAt(a) < s.g.IDAt(b)) {
-				pick = k
-			}
-		}
-		u := ready[pick]
-		ready = append(ready[:pick], ready[pick+1:]...)
-		order = append(order, u)
+	for len(h) > 0 {
+		var u int
+		u, h = s.heapPop(h, weight)
+		out = append(out, u)
 		for _, v := range s.g.ChildIndices(u) {
 			indeg[v]--
 			if indeg[v] == 0 {
-				ready = append(ready, v)
+				h = s.heapPush(h, weight, v)
 			}
 		}
 	}
-	return order
+	return out
 }
 
-// costOf evaluates the battery cost (sigma at completion) of executing the
-// tasks in order L (indices) with the given assignment (indexed by task).
-func (s *Scheduler) costOf(L []int, assign []int) float64 {
-	p := make(battery.Profile, 0, len(L))
+// heapBefore reports whether task a should be emitted before task b:
+// larger weight first, ties to the smaller task ID. IDs are unique, so
+// the order is total and heap-internal layout can never leak into the
+// emitted sequence.
+func (s *Scheduler) heapBefore(weight []float64, a, b int) bool {
+	if weight[a] != weight[b] {
+		return weight[a] > weight[b]
+	}
+	return s.g.IDAt(a) < s.g.IDAt(b)
+}
+
+// heapPush adds x to the ready max-heap.
+func (s *Scheduler) heapPush(h []int, weight []float64, x int) []int {
+	h = append(h, x)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.heapBefore(weight, h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	return h
+}
+
+// heapPop removes and returns the highest-priority ready task.
+func (s *Scheduler) heapPop(h []int, weight []float64) (int, []int) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(h) && s.heapBefore(weight, h[l], h[best]) {
+			best = l
+		}
+		if r < len(h) && s.heapBefore(weight, h[r], h[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	return top, h
+}
+
+// profileInto appends the discharge profile of executing the tasks in
+// order L (indices) with the given assignment onto p (one constant-current
+// interval per task, the same construction as sched.Schedule.Profile).
+func (s *Scheduler) profileInto(L, assign []int, p battery.Profile) battery.Profile {
 	for _, ti := range L {
 		p = append(p, battery.Interval{Current: s.cur[ti][assign[ti]], Duration: s.d[ti][assign[ti]]})
 	}
+	return p
+}
+
+// costOfInto evaluates the battery cost (sigma at completion) of executing
+// the tasks in order L (indices) with the given assignment (indexed by
+// task), building the profile into the caller's buffer p.
+func (s *Scheduler) costOfInto(L, assign []int, p battery.Profile) float64 {
+	p = s.profileInto(L, assign, p)
 	return s.model.ChargeLost(p, p.TotalTime())
+}
+
+// costOf is costOfInto with a fresh profile, for callers without a scratch.
+func (s *Scheduler) costOf(L, assign []int) float64 {
+	return s.costOfInto(L, assign, make(battery.Profile, 0, len(L)))
 }
 
 // CostOf evaluates sigma at completion for an explicit order (task IDs)
@@ -349,17 +480,25 @@ func (s *Scheduler) scheduleFrom(order, assign []int) *sched.Schedule {
 // windows dispatches to the sequential or parallel window evaluator.
 // A canceled ctx makes it return early with whatever it has; callers
 // must check ctx before trusting the result.
-func (s *Scheduler) windows(ctx context.Context, L []int) ([]int, float64, []WindowTrace) {
+func (s *Scheduler) windows(ctx context.Context, L []int, scr *runScratch) ([]int, float64, []WindowTrace) {
 	if s.opt.Parallel {
-		return s.evaluateWindowsParallel(ctx, L)
+		return s.evaluateWindowsParallel(ctx, L, scr)
 	}
-	return s.evaluateWindows(ctx, L)
+	return s.evaluateWindows(ctx, L, scr)
 }
 
 func (s *Scheduler) idsOf(L []int) []int {
 	out := make([]int, len(L))
 	for k, i := range L {
 		out[k] = s.g.IDAt(i)
+	}
+	return out
+}
+
+// idsInto appends the task IDs of the dense indices in L onto out.
+func (s *Scheduler) idsInto(L, out []int) []int {
+	for _, i := range L {
+		out = append(out, s.g.IDAt(i))
 	}
 	return out
 }

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"repro/internal/battery"
+)
+
+// runScratch is the per-run arena behind the scheduler's hot path. One is
+// created per RunContext / runFromContext call (and one per worker in the
+// parallel window and multi-start fan-outs), so a Scheduler stays immutable
+// and safe for concurrent runs while the inner loops never allocate.
+//
+// The buffers fall into four groups, mirroring the call tree:
+//
+//   - backward pass (chooseDesignPoints / calculateDPF): the working
+//     assignment, the hypothetical escalated state and its undo logs, and
+//     the incremental-evaluation base state (see the invariants on
+//     chooseDesignPoints);
+//   - window sweep: the best-so-far assignment across windows and the
+//     all-fastest fallback;
+//   - sequencing (listSchedule / weightedSequence): weights, in-degrees and
+//     the ready max-heap, plus double-buffered sequence storage;
+//   - cost evaluation: one reusable battery profile.
+//
+// A scratch is single-goroutine state; the parallel window sweep keeps one
+// per window slot (slots), lazily built and reused across iterations.
+type runScratch struct {
+	// backward pass
+	assign  []int // per-task column: free tasks at m-1, fixed tasks at chosen
+	posOf   []int // task index -> sequence position (valid during one pass)
+	tmp     []int // hypothetical escalated state; == assign between positions
+	freeEV  []int // free tasks (positions < pos) in Energy-Vector order
+	colCnt  []int // column -> free tasks currently at it in tmp
+	incBase int   // current-increase count (CIF numerator) of the base state
+	// The position's escalation trajectory (see buildTrajectory): the
+	// task moved at step k, the completion-time delta of that move, and
+	// the current-increase count after k moves. walkK is how many moves
+	// the state mirrors currently have applied.
+	moveQ    []int
+	teDelta  []float64
+	incAfter []int
+	nMoves   int
+	walkK    int
+	// Flat mirrors of tmp's derived values, kept in lockstep by
+	// setTmpCol/rewindTo so the hot loops scan contiguous float64s:
+	// current and charge-energy by sequence position; teNow is the BASE
+	// state's execution time by task index (it tracks assign, not the
+	// trajectory walk).
+	curPos []float64
+	enPos  []float64
+	teNow  []float64
+
+	// window sweep
+	winAssign []int
+	fallback  []int
+
+	// sequencing
+	weights    []float64
+	indeg      []int
+	heap       []int
+	seqA, seqB []int
+	ordBest    []int
+	asgBest    []int
+
+	// cost evaluation
+	profile battery.Profile
+
+	// parallel window sweep (lazily sized to the sweep width)
+	slots    []*runScratch
+	slotCost []float64
+	slotOK   []bool
+	slotWT   []WindowTrace
+}
+
+// newScratch builds an arena sized for the scheduler's n tasks and m design
+// points. Every slice is at its final capacity, so steady-state runs that
+// reuse the scratch (see Runner) perform no allocation.
+func (s *Scheduler) newScratch() *runScratch {
+	n, m := s.n, s.m
+	return &runScratch{
+		assign:    make([]int, n),
+		posOf:     make([]int, n),
+		tmp:       make([]int, n),
+		freeEV:    make([]int, 0, n),
+		colCnt:    make([]int, m),
+		moveQ:     make([]int, n*m),
+		teDelta:   make([]float64, n*m),
+		incAfter:  make([]int, n*m+1),
+		curPos:    make([]float64, n),
+		enPos:     make([]float64, n),
+		teNow:     make([]float64, n),
+		winAssign: make([]int, n),
+		fallback:  make([]int, n),
+		weights:   make([]float64, n),
+		indeg:     make([]int, n),
+		heap:      make([]int, 0, n),
+		seqA:      make([]int, n),
+		seqB:      make([]int, n),
+		ordBest:   make([]int, 0, n),
+		asgBest:   make([]int, 0, n),
+		profile:   make(battery.Profile, 0, n),
+	}
+}

@@ -10,7 +10,10 @@
 // multi-start job the restarts themselves run concurrently (see
 // core.MultiStartOptions.Workers); when a job leaves that fan-out
 // unset the engine splits its worker bound between the two levels, so
-// total concurrency stays near the bound for any batch shape.
+// total concurrency stays near the bound for any batch shape. Workers
+// share nothing mutable: every run in core carries its own scratch
+// arena (see internal/core's runScratch), so per-job results are
+// bit-identical for every pool size.
 package engine
 
 import (

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# bench.sh — run the benchmark suite and emit a machine-readable
+# BENCH_<date>.json snapshot (benchmark name -> ns/op, B/op, allocs/op),
+# the repo's perf-trajectory format (see ARCHITECTURE.md §Performance).
+#
+# Usage:
+#   scripts/bench.sh [-c count] [-t benchtime] [-b pattern] [-p packages] [-o out.json]
+#
+#   -c count      -count passed to go test (default 3; use 1 for smoke runs)
+#   -t benchtime  -benchtime passed to go test (e.g. 0.5s or 1x; default: go's)
+#   -b pattern    -bench regexp (default ".")
+#   -p packages   package pattern (default "./...")
+#   -o out.json   output path (default "BENCH_$(date +%F).json" in the repo root)
+#
+# Raw `go test` output streams to stderr so progress stays visible; the
+# JSON snapshot is written at the end. Compare snapshots over time to see
+# the trajectory (BENCH_*.json files are committed evidence, not rebuilt
+# by CI — CI only smoke-runs the benchmarks so they cannot rot).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+count=3
+benchtime=""
+pattern="."
+packages="./..."
+out="BENCH_$(date +%F).json"
+while getopts "c:t:b:p:o:h" opt; do
+  case "$opt" in
+    c) count="$OPTARG" ;;
+    t) benchtime="$OPTARG" ;;
+    b) pattern="$OPTARG" ;;
+    p) packages="$OPTARG" ;;
+    o) out="$OPTARG" ;;
+    h|*) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+  esac
+done
+
+args=(test -run '^$' -bench "$pattern" -benchmem -count "$count")
+if [ -n "$benchtime" ]; then
+  args+=(-benchtime "$benchtime")
+fi
+args+=($packages)
+
+echo "running: go ${args[*]}" >&2
+go "${args[@]}" | tee /dev/stderr | go run ./scripts/benchjson -o "$out"
+echo "wrote $out" >&2

@@ -1,0 +1,143 @@
+// Command benchjson converts `go test -bench` output into the repo's
+// machine-readable benchmark snapshot format (BENCH_<date>.json): one
+// entry per benchmark keyed "package:BenchmarkName", carrying the mean
+// ns/op, B/op and allocs/op over however many -count samples appear, plus
+// the sample count so consumers can judge stability. scripts/bench.sh is
+// the canonical driver; see ARCHITECTURE.md §Performance for how the
+// snapshots record the perf trajectory.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | go run ./scripts/benchjson [-o out.json]
+//
+// Lines that are not benchmark results (pkg/goos/cpu headers, PASS/ok)
+// set context or are ignored, so raw `go test` output pipes straight in.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry is one benchmark's aggregated measurements.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Samples     int     `json:"samples"`
+}
+
+// Snapshot is the BENCH_<date>.json document.
+type Snapshot struct {
+	Generated  string           `json:"generated"`
+	GoOS       string           `json:"goos,omitempty"`
+	GoArch     string           `json:"goarch,omitempty"`
+	CPU        string           `json:"cpu,omitempty"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkScalingTasks/n=80-8  61  10419264 ns/op  64640 B/op  249 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+([0-9.]+) allocs/op)?`)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	type acc struct {
+		ns, b, allocs float64
+		n             int
+	}
+	sums := map[string]*acc{}
+	snap := Snapshot{Generated: time.Now().UTC().Format(time.RFC3339), Benchmarks: map[string]Entry{}}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			continue
+		case strings.HasPrefix(line, "goos: "):
+			snap.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos: "))
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			snap.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch: "))
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		key := m[1]
+		if pkg != "" {
+			key = pkg + ":" + m[1]
+		}
+		a := sums[key]
+		if a == nil {
+			a = &acc{}
+			sums[key] = a
+		}
+		a.ns += mustFloat(m[2])
+		if m[3] != "" {
+			a.b += mustFloat(m[3])
+		}
+		if m[4] != "" {
+			a.allocs += mustFloat(m[4])
+		}
+		a.n++
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: reading input:", err)
+		os.Exit(1)
+	}
+	if len(sums) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	for key, a := range sums {
+		n := float64(a.n)
+		snap.Benchmarks[key] = Entry{
+			NsPerOp:     a.ns / n,
+			BPerOp:      a.b / n,
+			AllocsPerOp: a.allocs / n,
+			Samples:     a.n,
+		}
+	}
+
+	enc, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func mustFloat(s string) float64 {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: bad number %q: %v\n", s, err)
+		os.Exit(1)
+	}
+	return f
+}
