@@ -111,6 +111,36 @@ var ErrCanceled = engine.ErrCanceled
 // BatteryModel estimates the apparent charge a discharge profile draws.
 type BatteryModel = battery.Model
 
+// BatterySpec is the declarative, serializable battery-model selection:
+// a kind plus that kind's validated parameters. Unlike a BatteryModel
+// value, a spec can travel over the wire (the jobs' "battery" JSON
+// object), be parsed from a -battery CLI flag (ParseBatterySpec), and
+// be hashed into the result cache key — spec-based jobs are fully
+// cacheable. Set it on Options.Battery; the zero Options (or
+// DefaultBatterySpec) reproduces the paper's Rakhmatov configuration
+// bit-identically.
+type BatterySpec = battery.Spec
+
+// The accepted BatterySpec kinds.
+const (
+	BatteryKindRakhmatov  = battery.KindRakhmatov
+	BatteryKindIdeal      = battery.KindIdeal
+	BatteryKindPeukert    = battery.KindPeukert
+	BatteryKindKiBaM      = battery.KindKiBaM
+	BatteryKindCalibrated = battery.KindCalibrated
+)
+
+// DefaultBatterySpec returns the paper's battery configuration
+// (Rakhmatov, beta 0.273, ten series terms) as a spec.
+func DefaultBatterySpec() BatterySpec { return battery.DefaultSpec() }
+
+// ParseBatterySpec parses the -battery CLI flag syntax (for example
+// "kibam,capacity=40000,c=0.5,rate=0.1") into a validated BatterySpec.
+func ParseBatterySpec(flag string) (BatterySpec, error) { return battery.ParseSpec(flag) }
+
+// BatterySpecKinds returns the accepted spec kinds, in display order.
+func BatterySpecKinds() []string { return battery.Kinds() }
+
 // Profile is a piecewise-constant discharge profile.
 type Profile = battery.Profile
 
@@ -284,9 +314,10 @@ func NewCache(maxEntries int) *Cache { return cache.New(maxEntries) }
 // RunCached is Run behind a result cache: a repeated (graph, deadline,
 // options) triple answers from memory, and identical concurrent calls
 // compute once. Results are deep copies, so callers may mutate them
-// freely. A nil cache, a custom Options.Model (no canonical content to
-// hash) or Options.RecordTrace (the trace is not cached) all fall back
-// to a plain Run.
+// freely. A nil cache, a deprecated opaque Options.Model (no canonical
+// content to hash) or Options.RecordTrace (the trace is not cached)
+// all fall back to a plain Run; declarative Options.Battery specs are
+// fully cacheable.
 func RunCached(c *Cache, g *Graph, deadline float64, opt Options) (*Result, error) {
 	if c == nil || opt.Model != nil || opt.RecordTrace {
 		return Run(g, deadline, opt)

@@ -276,3 +276,65 @@ func TestFacadePaperHeadline(t *testing.T) {
 		t.Errorf("won only %d of %d cells; paper wins all 6", wins, total)
 	}
 }
+
+// TestFacadeBatterySpec covers the declarative battery surface: parsing
+// the -battery flag syntax, running under a spec, the default spec's
+// equivalence to zero options, and cached spec jobs.
+func TestFacadeBatterySpec(t *testing.T) {
+	g := smallGraph(t)
+
+	spec, err := battsched.ParseBatterySpec("kibam,capacity=5000,c=0.5,rate=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Kind != battsched.BatteryKindKiBaM {
+		t.Fatalf("parsed kind %q", spec.Kind)
+	}
+	res, err := battsched.Run(g, 8, battsched.Options{Battery: &spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost <= 0 {
+		t.Fatalf("kibam cost %g", res.Cost)
+	}
+
+	// The default spec reproduces the zero-options run bit-for-bit.
+	def := battsched.DefaultBatterySpec()
+	viaSpec, err := battsched.Run(g, 8, battsched.Options{Battery: &def})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := battsched.Run(g, 8, battsched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(viaSpec.Cost) != math.Float64bits(plain.Cost) {
+		t.Fatalf("default spec cost %x != zero-options cost %x",
+			math.Float64bits(viaSpec.Cost), math.Float64bits(plain.Cost))
+	}
+
+	// Spec jobs cache: second identical cached run is served from
+	// memory (stats show the hit) with an equal result.
+	c := battsched.NewCache(0)
+	first, err := battsched.RunCached(c, g, 8, battsched.Options{Battery: &spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := battsched.RunCached(c, g, 8, battsched.Options{Battery: &spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cost != second.Cost {
+		t.Fatalf("cached spec run differs: %g vs %g", first.Cost, second.Cost)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 || st.Bypasses != 0 {
+		t.Fatalf("spec job must cache (1 hit / 1 miss / 0 bypasses), got %+v", st)
+	}
+
+	if kinds := battsched.BatterySpecKinds(); len(kinds) != 5 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	if _, err := battsched.ParseBatterySpec("hamster-wheel"); err == nil {
+		t.Fatal("unknown kind must fail to parse")
+	}
+}

@@ -19,9 +19,14 @@
 // `fixture` (g2 | g3) and `graph` (the taskgen/battsched JSON schema,
 // inline) are mutually exclusive. Strategies: iterative (default),
 // multistart, withidle, rv-dp, chowdhury, all-fastest, lowest-power.
+// A `battery` object selects the cost model declaratively per job
+// (kinds: rakhmatov, ideal, peukert, kibam, calibrated — docs/API.md
+// has the parameter reference); `-battery kind=...,param=...` sets a
+// default spec for the lines that carry neither `battery` nor `beta`.
 // Jobs are validated at decode time: NaN/Inf or non-positive deadlines,
-// negative currents and unknown fields are rejected with an error
-// naming the field, before any scheduling work starts.
+// negative currents, invalid battery parameters and unknown fields are
+// rejected with an error naming the field, before any scheduling work
+// starts.
 //
 // A result line echoes index/name/strategy and carries either the
 // schedule (order, assignment, cost, duration, energy) or an "error"
@@ -50,6 +55,7 @@ import (
 	"os/signal"
 	"runtime"
 
+	"repro/internal/battery"
 	"repro/internal/cache"
 	"repro/internal/wire"
 )
@@ -57,15 +63,24 @@ import (
 // run reads NDJSON jobs from r, schedules them over `workers` goroutines
 // (through a cacheEntries-bounded result cache when cacheEntries > 0)
 // and writes NDJSON results to w, stopping early — but still writing
-// every result line — when ctx is canceled. It returns the number of
-// failed jobs (canceled ones included).
-func run(ctx context.Context, r io.Reader, w io.Writer, workers, cacheEntries int) (failed int, err error) {
+// every result line — when ctx is canceled. defaultBattery, when
+// non-nil, applies to jobs that select no battery of their own (no
+// "battery" object, no "beta"). It returns the number of failed jobs
+// (canceled ones included).
+func run(ctx context.Context, r io.Reader, w io.Writer, workers, cacheEntries int, defaultBattery *battery.Spec) (failed int, err error) {
 	// One output slot per non-blank input line; a line that fails to
 	// decode keeps its slot and reports its own error (see
 	// wire.DecodeJobs).
 	jobs, names, parseErrs, err := wire.DecodeJobs(r)
 	if err != nil {
 		return 0, err
+	}
+	if defaultBattery != nil {
+		for i := range jobs {
+			if parseErrs[i] == nil && jobs[i].Options.Battery == nil && jobs[i].Options.Beta == 0 {
+				jobs[i].Options.Battery = defaultBattery
+			}
+		}
 	}
 
 	ce := cache.Engine{Workers: workers}
@@ -92,8 +107,17 @@ func main() {
 		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent jobs (0 = GOMAXPROCS)")
 		cacheEntries = flag.Int("cache", 0, "dedupe repeated jobs through an n-entry result cache (0 = off)")
 		timeout      = flag.Duration("timeout", 0, "whole-batch time budget, e.g. 30s (0 = unbounded)")
+		batt         = flag.String("battery", "", "default battery spec for jobs without one, e.g. kibam,capacity=40000,c=0.5,rate=0.1")
 	)
 	flag.Parse()
+	var defaultBattery *battery.Spec
+	if *batt != "" {
+		spec, err := battery.ParseSpec(*batt)
+		if err != nil {
+			fatal(err)
+		}
+		defaultBattery = &spec
+	}
 
 	// SIGINT cancels the running batch (results written so far are kept,
 	// the rest report the canceled code); a second SIGINT kills the
@@ -128,7 +152,7 @@ func main() {
 		w = f
 	}
 	bw := bufio.NewWriter(w)
-	failed, err := run(ctx, r, bw, *workers, *cacheEntries)
+	failed, err := run(ctx, r, bw, *workers, *cacheEntries, defaultBattery)
 	if ferr := bw.Flush(); err == nil {
 		err = ferr
 	}

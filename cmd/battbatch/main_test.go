@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/battery"
 	"repro/internal/taskgraph"
 	"repro/internal/wire"
 )
@@ -31,7 +32,7 @@ func TestRunBatchNDJSON(t *testing.T) {
 	}, "\n")
 
 	var out bytes.Buffer
-	failed, err := run(context.Background(), strings.NewReader(input), &out, 4, 0)
+	failed, err := run(context.Background(), strings.NewReader(input), &out, 4, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,14 +85,14 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 bad line
 `
 	var ref bytes.Buffer
-	if _, err := run(context.Background(), strings.NewReader(input), &ref, 1, 0); err != nil {
+	if _, err := run(context.Background(), strings.NewReader(input), &ref, 1, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	for _, tc := range []struct{ workers, cache int }{
 		{2, 0}, {7, 0}, {1, 64}, {4, 64},
 	} {
 		var out bytes.Buffer
-		if _, err := run(context.Background(), strings.NewReader(input), &out, tc.workers, tc.cache); err != nil {
+		if _, err := run(context.Background(), strings.NewReader(input), &out, tc.workers, tc.cache, nil); err != nil {
 			t.Fatal(err)
 		}
 		if !bytes.Equal(out.Bytes(), ref.Bytes()) {
@@ -122,7 +123,7 @@ func TestRejectsBadNumbersAtDecodeTime(t *testing.T) {
 		{"unknown field", `{"fixture":"g3","deadline":230,"dedline":5}`, "unknown field"},
 	} {
 		var out bytes.Buffer
-		failed, err := run(context.Background(), strings.NewReader(tc.line), &out, 1, 0)
+		failed, err := run(context.Background(), strings.NewReader(tc.line), &out, 1, 0, nil)
 		if err != nil {
 			t.Fatalf("%s: run error %v", tc.name, err)
 		}
@@ -162,4 +163,50 @@ func TestJobValidationRules(t *testing.T) {
 			t.Fatalf("%s: err = %v, want ok=%v", tc.name, err, tc.ok)
 		}
 	}
+}
+
+// TestRunDefaultBattery: the -battery flag's spec applies to lines that
+// select no battery and leaves explicit ones alone.
+func TestRunDefaultBattery(t *testing.T) {
+	input := strings.Join([]string{
+		`{"name":"inherits","fixture":"g3","deadline":230}`,
+		`{"name":"explicit","fixture":"g3","deadline":230,"battery":{"kind":"kibam","capacity":40000,"well_fraction":0.5,"rate_constant":0.1}}`,
+		`{"name":"beta","fixture":"g3","deadline":230,"beta":0.5}`,
+	}, "\n")
+	spec, err := battery.ParseSpec("kibam,capacity=40000,c=0.5,rate=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if _, err := run(context.Background(), strings.NewReader(input), &out, 2, 0, &spec); err != nil {
+		t.Fatal(err)
+	}
+	results := decodeResults(t, out.Bytes())
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if results[0].Error != "" || results[1].Error != "" || results[2].Error != "" {
+		t.Fatalf("unexpected failures: %+v", results)
+	}
+	if results[0].Cost != results[1].Cost {
+		t.Fatalf("default-battery line cost %g != explicit kibam cost %g", results[0].Cost, results[1].Cost)
+	}
+	if results[2].Cost == results[0].Cost {
+		t.Fatal("beta line must keep its own Rakhmatov model, not inherit the default spec")
+	}
+}
+
+// decodeResults parses an NDJSON result stream.
+func decodeResults(t *testing.T, data []byte) []wire.Result {
+	t.Helper()
+	var results []wire.Result
+	dec := json.NewDecoder(bytes.NewReader(data))
+	for dec.More() {
+		var r wire.Result
+		if err := dec.Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, r)
+	}
+	return results
 }

@@ -6,9 +6,13 @@
 //
 //	battsched -graph app.json -deadline 230 [-beta 0.273] [-algo iterative]
 //	battsched -fixture g3 -deadline 230 -trace
+//	battsched -fixture g3 -deadline 230 -battery kibam,capacity=40000,c=0.5,rate=0.1
 //
-// The graph schema is documented in the README; cmd/taskgen generates
-// synthetic instances.
+// -battery selects the battery model declaratively (kinds: rakhmatov,
+// ideal, peukert, kibam, calibrated; see battery.ParseSpec for the
+// parameter names); it subsumes -beta, which remains as the Rakhmatov
+// shorthand. The graph schema is documented in the README; cmd/taskgen
+// generates synthetic instances.
 package main
 
 import (
@@ -29,7 +33,8 @@ func main() {
 		graphPath = flag.String("graph", "", "task graph JSON file")
 		fixture   = flag.String("fixture", "", "use a built-in graph instead: g2 or g3")
 		deadline  = flag.Float64("deadline", 0, "deadline in minutes (required)")
-		beta      = flag.Float64("beta", battery.DefaultBeta, "battery diffusion parameter (min^-1/2)")
+		beta      = flag.Float64("beta", battery.DefaultBeta, "battery diffusion parameter (min^-1/2); shorthand for -battery rakhmatov,beta=...")
+		batt      = flag.String("battery", "", "battery model spec, e.g. kibam,capacity=40000,c=0.5,rate=0.1 (kinds: rakhmatov | ideal | peukert | kibam | calibrated)")
 		algo      = flag.String("algo", "iterative", "algorithm: iterative | rv-dp | chowdhury | all-fastest | lowest-power")
 		trace     = flag.Bool("trace", false, "print the per-iteration trace (iterative only)")
 		dot       = flag.Bool("dot", false, "also print the graph in DOT")
@@ -45,7 +50,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	model := battery.NewRakhmatov(*beta)
+	// One validated construction path for the cost model: the -battery
+	// spec if given, else the -beta Rakhmatov shorthand as a spec.
+	opt := core.Options{Beta: *beta, RecordTrace: *trace}
+	if *batt != "" {
+		betaSet := false
+		flag.Visit(func(f *flag.Flag) { betaSet = betaSet || f.Name == "beta" })
+		if betaSet {
+			fatal(fmt.Errorf("-beta and -battery are mutually exclusive (use -battery rakhmatov,beta=...)"))
+		}
+		spec, err := battery.ParseSpec(*batt)
+		if err != nil {
+			fatal(err)
+		}
+		opt = core.Options{Battery: &spec, RecordTrace: *trace}
+	}
+	model, err := opt.ResolveModel()
+	if err != nil {
+		fatal(err)
+	}
 	if *showStats {
 		fmt.Printf("graph:     %s\n", g.Analyze(0))
 	}
@@ -53,7 +76,7 @@ func main() {
 	var schedule *sched.Schedule
 	switch strings.ToLower(*algo) {
 	case "iterative":
-		s, err := core.New(g, *deadline, core.Options{Beta: *beta, RecordTrace: *trace})
+		s, err := core.New(g, *deadline, opt)
 		if err != nil {
 			fatal(err)
 		}

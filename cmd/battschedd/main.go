@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	battschedd [-addr :8347] [-workers 0] [-max-inflight 0] [-cache 1024] [-timeout 0] [-quiet]
+//	battschedd [-addr :8347] [-workers 0] [-max-inflight 0] [-cache 1024] [-timeout 0] [-battery spec] [-quiet]
 //
 //	curl -s localhost:8347/v1/schedule -d '{"fixture":"g3","deadline":230}'
 //	curl -s localhost:8347/v1/batch --data-binary @jobs.ndjson
@@ -14,9 +14,12 @@
 //	curl -s localhost:8347/metrics
 //
 // Endpoints, wire schemas and curl walk-throughs are documented in
-// docs/API.md; request bodies are exactly battbatch's NDJSON job lines.
-// The daemon writes one structured (JSON) access-log line per request
-// to stderr (suppress with -quiet).
+// docs/API.md; request bodies are exactly battbatch's NDJSON job lines,
+// including the per-job "battery" model spec. `-battery
+// kind=...,param=...` sets the daemon-wide default battery applied to
+// jobs that select none (kinds: rakhmatov, ideal, peukert, kibam,
+// calibrated). The daemon writes one structured (JSON) access-log line
+// per request to stderr (suppress with -quiet).
 //
 // Scheduling work is request-scoped: a client that disconnects cancels
 // its in-flight batch instead of leaving the server to compute an
@@ -40,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/battery"
 	"repro/internal/server"
 )
 
@@ -54,11 +58,20 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 0, "concurrent scheduling requests (0 = 2*GOMAXPROCS)")
 		cacheSize   = flag.Int("cache", 1024, "result cache entries (0 disables caching)")
 		timeout     = flag.Duration("timeout", 0, "per-request scheduling time budget, e.g. 30s (0 = unbounded)")
+		batt        = flag.String("battery", "", "default battery spec for jobs without one, e.g. kibam,capacity=40000,c=0.5,rate=0.1")
 		quiet       = flag.Bool("quiet", false, "suppress per-request access logs")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", 0)
+	var defaultBattery *battery.Spec
+	if *batt != "" {
+		spec, err := battery.ParseSpec(*batt)
+		if err != nil {
+			logger.Fatalf("battschedd: -battery: %v", err)
+		}
+		defaultBattery = &spec
+	}
 	cfg := server.Config{
 		Workers:     *workers,
 		MaxInFlight: *maxInflight,
@@ -66,6 +79,7 @@ func main() {
 		// Config uses 0 = default, negative = off.
 		CacheEntries:   *cacheSize,
 		RequestTimeout: *timeout,
+		DefaultBattery: defaultBattery,
 	}
 	if *cacheSize == 0 {
 		cfg.CacheEntries = -1

@@ -46,16 +46,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rv := battery.NewRakhmatov(*beta)
+	// Every model goes through the one validated construction path
+	// (battery.Spec), so a bad -beta / -peukert / -iref fails with the
+	// spec's field-naming error instead of a panic.
+	rv, err := resolveSpec(battery.Spec{Kind: battery.KindRakhmatov, Beta: *beta})
+	if err != nil {
+		fatal(err)
+	}
 	end := p.TotalTime()
 	fmt.Printf("profile:    %d intervals, %.1f min, peak %.0f mA, mean %.0f mA\n",
 		len(p), end, p.PeakCurrent(), p.MeanCurrent())
 	fmt.Printf("delivered:  %.1f mA·min\n", p.DeliveredCharge(end))
 	fmt.Printf("sigma(RV):  %.1f mA·min at end (unavailable %.1f)\n",
-		rv.ChargeLost(p, end), rv.Unavailable(p, end))
+		rv.ChargeLost(p, end), battery.UnavailableCharge(rv, p, end))
 	fmt.Printf("ideal:      %.1f mA·min\n", battery.Ideal{}.ChargeLost(p, end))
 	if *peukert > 0 {
-		pk := battery.NewPeukert(*peukert, *refCurrent)
+		pk, err := resolveSpec(battery.Spec{Kind: battery.KindPeukert, Exponent: *peukert, RefCurrent: *refCurrent})
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("peukert:    %.1f mA·min (k=%g, Iref=%g)\n", pk.ChargeLost(p, end), *peukert, *refCurrent)
 	}
 	for _, rest := range []float64{10, 60} {
@@ -79,6 +88,11 @@ func main() {
 		}
 		fmt.Printf("svg:        written to %s\n", *svgPath)
 	}
+}
+
+// resolveSpec is the CLI's single model-construction gate.
+func resolveSpec(spec battery.Spec) (battery.Model, error) {
+	return spec.Resolve()
 }
 
 func load(path string, constant, duration float64) (battery.Profile, error) {
@@ -127,6 +141,10 @@ func runFit(spec string) error {
 		return err
 	}
 	fmt.Printf("fitted: alpha=%.1f mA·min, beta=%.4f min^-1/2\n", alpha, beta)
+	// The fitted battery as a ready-to-paste declarative spec (usable
+	// with battsched/battbatch/battschedd -battery or as the "battery"
+	// wire object).
+	fmt.Printf("spec:   %s\n", battery.Spec{Kind: battery.KindRakhmatov, Beta: beta})
 	pred, err := battery.PredictLifetimes(alpha, beta, obs)
 	if err != nil {
 		return err

@@ -33,6 +33,13 @@ func main() {
 	}
 	fmt.Printf("calibrated battery: alpha = %.0f mA·min, beta = %.3f min^-1/2\n\n", alpha, beta)
 
+	// The same calibration as a declarative spec: kind "calibrated"
+	// carries the raw measurements and runs the identical fit at
+	// resolve time — so the scheduler below, a battbatch job line, or
+	// an HTTP request ({"battery":{"kind":"calibrated",...}}) all cost
+	// schedules against this exact pack, cacheably.
+	spec := battsched.BatterySpec{Kind: battsched.BatteryKindCalibrated, Observations: obs}
+
 	// 2. The application: a sense→process→transmit pipeline that must
 	// repeat every 25 minutes — tight enough that the schedule needs the
 	// faster, hotter design points.
@@ -56,17 +63,23 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 3. Schedule against the calibrated model.
+	// 3. Schedule against the calibrated model — through the validated
+	// spec path, the same construction every other front end uses.
 	const period = 25.0
-	res, err := battsched.Run(g, period, battsched.Options{Beta: beta})
+	res, err := battsched.Run(g, period, battsched.Options{Battery: &spec})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("schedule: %s\n", res.Schedule)
 	fmt.Printf("per run:  %.1f min, sigma %.0f mA·min on the calibrated pack\n\n", res.Duration, res.Cost)
 
-	// 4. How many mission cycles does the measured pack deliver?
-	model := battsched.NewRakhmatov(beta)
+	// 4. How many mission cycles does the measured pack deliver? The
+	// simulator's model resolves from the same spec, so planning and
+	// simulation cannot drift apart.
+	model, err := spec.Resolve()
+	if err != nil {
+		log.Fatal(err)
+	}
 	plat := battsched.Platform{Model: model, Capacity: alpha}
 	runs, diedAt, err := battsched.MissionCycles(plat, g, res.Schedule, 1000)
 	if err != nil {

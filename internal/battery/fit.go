@@ -11,8 +11,8 @@ import (
 // and bench measurements provide exactly these pairs; FitRakhmatov turns
 // them into model parameters the scheduler can use.
 type Observation struct {
-	Current  float64 // mA, > 0
-	Lifetime float64 // minutes, > 0
+	Current  float64 `json:"current"`  // mA, > 0
+	Lifetime float64 `json:"lifetime"` // minutes, > 0
 }
 
 // FitRakhmatov estimates (alpha, beta) for the Rakhmatov model from

@@ -42,16 +42,19 @@ type KiBaM struct {
 	K float64
 }
 
-// NewKiBaM validates and returns a kinetic battery model.
+// NewKiBaM validates and returns a kinetic battery model, panicking on
+// non-physical parameters (non-positive or non-finite capacity or rate
+// constant, well fraction outside (0,1]). Spec.Resolve is the
+// non-panicking construction path.
 func NewKiBaM(capacity, c, k float64) KiBaM {
-	if capacity <= 0 || math.IsNaN(capacity) {
-		panic(fmt.Sprintf("battery: KiBaM capacity must be positive, got %g", capacity))
+	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		panic(fmt.Sprintf("battery: KiBaM capacity must be positive and finite, got %g", capacity))
 	}
 	if c <= 0 || c > 1 || math.IsNaN(c) {
 		panic(fmt.Sprintf("battery: KiBaM well fraction must be in (0,1], got %g", c))
 	}
-	if k <= 0 || math.IsNaN(k) {
-		panic(fmt.Sprintf("battery: KiBaM rate constant must be positive, got %g", k))
+	if k <= 0 || math.IsNaN(k) || math.IsInf(k, 0) {
+		panic(fmt.Sprintf("battery: KiBaM rate constant must be positive and finite, got %g", k))
 	}
 	return KiBaM{Capacity: capacity, C: c, K: k}
 }

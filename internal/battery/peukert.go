@@ -30,13 +30,14 @@ type Peukert struct {
 }
 
 // NewPeukert returns a Peukert model, panicking on non-physical parameters
-// (exponent below 1 or non-positive reference current).
+// (exponent below 1 or non-finite, reference current non-positive or
+// non-finite). Spec.Resolve is the non-panicking construction path.
 func NewPeukert(exponent, refCurrent float64) Peukert {
-	if exponent < 1 || math.IsNaN(exponent) {
-		panic(fmt.Sprintf("battery: Peukert exponent must be >= 1, got %g", exponent))
+	if exponent < 1 || math.IsNaN(exponent) || math.IsInf(exponent, 0) {
+		panic(fmt.Sprintf("battery: Peukert exponent must be a finite number >= 1, got %g", exponent))
 	}
-	if refCurrent <= 0 || math.IsNaN(refCurrent) {
-		panic(fmt.Sprintf("battery: Peukert reference current must be positive, got %g", refCurrent))
+	if refCurrent <= 0 || math.IsNaN(refCurrent) || math.IsInf(refCurrent, 0) {
+		panic(fmt.Sprintf("battery: Peukert reference current must be positive and finite, got %g", refCurrent))
 	}
 	return Peukert{Exponent: exponent, RefCurrent: refCurrent}
 }

@@ -40,10 +40,12 @@ type Rakhmatov struct {
 }
 
 // NewRakhmatov returns the model with the given beta and the paper's
-// ten-term series. It panics if beta is not positive, because a zero beta
-// silently degenerates to a division by zero deep in the series.
+// ten-term series. It panics if beta is not positive and finite, because
+// a zero beta silently degenerates to a division by zero deep in the
+// series (and +Inf makes every series constant overflow). Spec.Resolve
+// is the non-panicking construction path.
 func NewRakhmatov(beta float64) Rakhmatov {
-	if beta <= 0 || math.IsNaN(beta) {
+	if beta <= 0 || math.IsNaN(beta) || math.IsInf(beta, 0) {
 		panic(fmt.Sprintf("battery: beta must be positive, got %g", beta))
 	}
 	return Rakhmatov{Beta: beta, Terms: DefaultTerms}

@@ -96,8 +96,9 @@ func TestKeyCanonical(t *testing.T) {
 	}
 }
 
-// TestKeyUncacheable: nil graphs, unknown strategies and opaque custom
-// models bypass the cache.
+// TestKeyUncacheable: nil graphs, unknown strategies, invalid battery
+// specs and opaque deprecated Options.Model values bypass the cache.
+// Declarative Options.Battery specs do NOT — see spec_test.go.
 func TestKeyUncacheable(t *testing.T) {
 	if _, ok := Key(engine.Job{Deadline: 10}); ok {
 		t.Fatal("nil graph must be uncacheable")
@@ -108,7 +109,12 @@ func TestKeyUncacheable(t *testing.T) {
 	custom := g3Job(230)
 	custom.Options.Model = battery.Ideal{}
 	if _, ok := Key(custom); ok {
-		t.Fatal("custom model must be uncacheable")
+		t.Fatal("opaque Options.Model must be uncacheable")
+	}
+	invalid := g3Job(230)
+	invalid.Options.Battery = &battery.Spec{Kind: "fluxcap"}
+	if _, ok := Key(invalid); ok {
+		t.Fatal("invalid battery spec must be uncacheable (its per-job error is cheaper than hashing)")
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/battery"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/taskgraph"
@@ -16,18 +17,25 @@ import (
 
 // keyVersion namespaces the hash so a future change to the canonical
 // encoding cannot collide with results stored under the old one.
-const keyVersion = "battsched-cache-v1"
+// v2: the battery model is hashed as a canonical battery.Spec encoding
+// instead of raw Beta/SeriesTerms fields, making every declarative
+// model kind (ideal/peukert/kibam/calibrated) cacheable.
+const keyVersion = "battsched-cache-v2"
 
 // Key returns the canonical content hash of a job — the cache address of
 // its result — and whether the job is cacheable at all.
 //
 // The key covers everything that determines the result: the graph
 // content (tasks in ID order with their design points and sorted parent
-// sets), the deadline, the canonical strategy name, every
+// sets), the deadline, the canonical strategy name, the canonical
+// battery-spec bytes (see battery.Spec.AppendCanonical), every other
 // result-affecting Options field, and (for the multistart strategy) the
 // restart count and seed. Fields are hashed at their resolved defaults
-// (core.Options.Canonical, core.DefaultRestarts), so a request spelling
-// out a default and one leaving it zero share an entry.
+// (core.Options.Canonical, battery.Spec.Canonical, core.DefaultRestarts),
+// so a request spelling out a default and one leaving it zero share an
+// entry — including {"beta":0.35} and the equivalent
+// {"battery":{"kind":"rakhmatov","beta":0.35}}, which canonicalize to
+// the same spec.
 //
 // Deliberately excluded because they are result-neutral: Job.Name (a
 // label), Options.Parallel and MultiStart.Workers (both documented
@@ -38,14 +46,25 @@ const keyVersion = "battsched-cache-v1"
 // see Cache.DoContext). Excluding them means a request answers from
 // cache however the caller tuned its concurrency or deadline budget.
 //
-// Not cacheable (ok = false): a nil graph, an unknown strategy (the
-// engine's error is cheaper than hashing), and a custom Options.Model —
-// an opaque interface value has no canonical content to hash.
+// Not cacheable (ok = false): a nil graph, an unknown strategy or an
+// invalid battery spec (the engine's per-job error is cheaper than
+// hashing), and an opaque Options.Model — an interface value has no
+// canonical content to hash. Declarative Options.Battery specs are
+// fully cacheable; the old "custom model ⇒ uncacheable" carve-out
+// applies only to the deprecated Model field.
 //
 // Key derivation is the whole cost of a cache hit, so it hashes the
 // graph directly (no Spec marshaling) through a reused buffer.
 func Key(job engine.Job) (key string, ok bool) {
-	if job.Graph == nil || job.Options.Model != nil {
+	if job.Graph == nil {
+		return "", false
+	}
+	spec, ok := job.Options.BatterySpec()
+	if !ok {
+		// Deprecated opaque Options.Model: nothing canonical to hash.
+		return "", false
+	}
+	if spec.Validate() != nil {
 		return "", false
 	}
 	strategy, err := engine.CanonicalStrategy(job.Strategy)
@@ -60,9 +79,9 @@ func Key(job engine.Job) (key string, ok bool) {
 	// Hash the resolved defaults, not the raw zero values, so a zero
 	// field and its explicit default ({"strategy":"multistart"} vs
 	// "restarts":8, beta 0 vs 0.273) land on the same entry.
+	k.spec(spec)
 	o := job.Options.Canonical()
-	k.f64(o.Beta)
-	k.ints(o.SeriesTerms, int(o.InitialOrder), o.MaxIterations,
+	k.ints(int(o.InitialOrder), o.MaxIterations,
 		int(o.Factors), int(o.Windows), int(o.DPFColumns), boolBit(o.DisableResequencing))
 
 	if strategy == engine.StrategyMultiStart {
@@ -83,6 +102,20 @@ func Key(job engine.Job) (key string, ok bool) {
 type keyHasher struct {
 	h   hash.Hash
 	buf [8]byte
+}
+
+// specStackBytes fits every fixed-parameter spec encoding (kind + three
+// float64s); only calibrated specs with long observation lists spill to
+// the heap.
+const specStackBytes = 64
+
+// spec hashes the battery spec's canonical bytes, length-prefixed like
+// every variable-width field.
+func (k *keyHasher) spec(s battery.Spec) {
+	var stack [specStackBytes]byte
+	enc := s.AppendCanonical(stack[:0])
+	k.i64(int64(len(enc)))
+	k.h.Write(enc)
 }
 
 // str writes s length-prefixed so adjacent fields cannot melt into each

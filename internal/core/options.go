@@ -13,6 +13,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/battery"
@@ -98,12 +99,27 @@ func (w WindowPolicy) String() string {
 // order, full window sweep, all suitability terms, resequencing on).
 type Options struct {
 	// Beta is the Rakhmatov–Vrudhula diffusion parameter
-	// (min^-1/2); 0 selects the paper's 0.273. Ignored if Model is set.
+	// (min^-1/2); 0 selects the paper's 0.273. Ignored if Model or
+	// Battery is set.
 	Beta float64
 	// SeriesTerms is the number of Equation-1 series terms; 0 selects
-	// the paper's 10. Ignored if Model is set.
+	// the paper's 10. Ignored if Model or Battery is set.
 	SeriesTerms int
-	// Model overrides the battery model used as the cost function.
+	// Battery declaratively selects the battery model used as the cost
+	// function: a validated (kind, parameters) spec resolved exactly
+	// once per scheduler construction, never per window. Unlike Model
+	// it has canonical content, so spec-based jobs stay fully cacheable
+	// and can travel over the wire (the "battery" JSON object). Nil
+	// falls back to the Rakhmatov model from Beta/SeriesTerms — the
+	// default spec is bit-identical to that path. Setting both Battery
+	// and Model is an error.
+	Battery *battery.Spec
+	// Model overrides the battery model used as the cost function with
+	// an opaque interface value.
+	//
+	// Deprecated: prefer Battery. A Model has no canonical content, so
+	// jobs carrying one cannot be cached or serialized; the field is
+	// kept working for callers with hand-written Model implementations.
 	Model battery.Model
 	// InitialOrder selects the first-iteration sequencing weight.
 	InitialOrder InitialWeight
@@ -163,17 +179,48 @@ func (r DPFColumnRule) String() string {
 // Options.MaxIterations is zero.
 const DefaultMaxIterations = 100
 
-// ResolvedModel returns the battery model the scheduler will cost
-// schedules with after defaulting: Model if set, otherwise a Rakhmatov
-// model from Beta/SeriesTerms (paper values when zero). Callers costing
-// schedules outside the scheduler (baselines, reports) should use this
-// so their numbers cannot drift from the iterative run's.
-func (o Options) ResolvedModel() battery.Model { return o.withDefaults().Model }
+// ResolveModel returns the battery model the scheduler will cost
+// schedules with after defaulting: Model if set (deprecated path),
+// otherwise the resolved Battery spec, otherwise a Rakhmatov model from
+// Beta/SeriesTerms (paper values when zero) — itself built through the
+// spec path, so a negative or NaN Beta is an error here exactly as it
+// would be on the wire or in the cache key. Callers costing schedules
+// outside the scheduler (baselines, reports) should use this so their
+// numbers cannot drift from the iterative run's. It fails when the
+// battery selection is invalid or when both Battery and Model are set.
+func (o Options) ResolveModel() (battery.Model, error) {
+	if o.Model != nil {
+		if o.Battery != nil {
+			return nil, errors.New("core: set at most one of Options.Battery and Options.Model")
+		}
+		return o.Model, nil
+	}
+	spec, _ := o.BatterySpec()
+	return spec.Resolve()
+}
+
+// BatterySpec returns the canonical declarative spec of the cost
+// function a run with these options uses, and ok=false when the model
+// is an opaque Options.Model value no spec describes. It is what
+// content-addressed caches hash: a job spelling {"beta":0.35} and one
+// spelling {"battery":{"kind":"rakhmatov","beta":0.35}} canonicalize to
+// the same spec and therefore share a cache entry.
+func (o Options) BatterySpec() (spec battery.Spec, ok bool) {
+	if o.Model != nil {
+		return battery.Spec{}, false
+	}
+	if o.Battery != nil {
+		return o.Battery.Canonical(), true
+	}
+	o = o.Canonical()
+	return battery.Spec{Kind: battery.KindRakhmatov, Beta: o.Beta, Terms: o.SeriesTerms}, true
+}
 
 // Canonical returns a copy of o with every result-affecting scalar
 // field resolved to the value the scheduler will actually use (Beta,
-// SeriesTerms, MaxIterations, Factors), leaving Model untouched. It is
-// the form content-addressed caches hash, so a zero field and its
+// SeriesTerms, MaxIterations, Factors), leaving Model and Battery
+// untouched (caches hash the battery through BatterySpec instead). It
+// is the form content-addressed caches hash, so a zero field and its
 // explicit default produce the same key.
 func (o Options) Canonical() Options {
 	if o.Beta == 0 {
@@ -191,10 +238,17 @@ func (o Options) Canonical() Options {
 	return o
 }
 
-func (o Options) withDefaults() Options {
-	o = o.Canonical()
-	if o.Model == nil {
-		o.Model = battery.Rakhmatov{Beta: o.Beta, Terms: o.SeriesTerms}
+// withDefaults resolves every default including the battery model; New
+// is the only caller (it surfaces ResolveModel's error to its caller).
+func (o Options) withDefaults() (Options, error) {
+	model, err := o.ResolveModel()
+	if err != nil {
+		return o, err
 	}
-	return o
+	o = o.Canonical()
+	// Materialize the resolved model and drop the spec so the stored
+	// options carry exactly one model source.
+	o.Model = model
+	o.Battery = nil
+	return o, nil
 }

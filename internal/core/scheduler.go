@@ -94,7 +94,14 @@ func New(g *taskgraph.Graph, deadline float64, opt Options) (*Scheduler, error) 
 	if !uniform {
 		return nil, errors.New("core: every task must have the same number of design points")
 	}
-	opt = opt.withDefaults()
+	// Resolve the battery model exactly once per scheduler — a
+	// calibrated spec runs a whole beta-fit here — so the per-window
+	// hot path only ever sees a ready Model value. Invalid specs fail
+	// construction, before any scheduling work.
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	n := g.N()
 	s := &Scheduler{
 		g:        g,

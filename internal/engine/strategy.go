@@ -114,10 +114,13 @@ func (e *Engine) execute(ctx context.Context, strategy string, job Job, res *Res
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		var (
-			s   *sched.Schedule
-			err error
-		)
+		// Resolve the battery spec up front so an invalid one is this
+		// job's error (not a panic) and the costing below never fails.
+		model, err := job.Options.ResolveModel()
+		if err != nil {
+			return err
+		}
+		var s *sched.Schedule
 		switch strategy {
 		case StrategyRVDP:
 			s, err = baseline.RakhmatovSchedule(job.Graph, job.Deadline)
@@ -131,7 +134,7 @@ func (e *Engine) execute(ctx context.Context, strategy string, job Job, res *Res
 		if err != nil {
 			return err
 		}
-		stats := s.Summarize(job.Graph, job.Options.ResolvedModel(), job.Deadline)
+		stats := s.Summarize(job.Graph, model, job.Deadline)
 		res.Schedule = s
 		res.Cost = stats.Cost
 		res.Duration = stats.Duration

@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/battery"
 	"repro/internal/cache"
 	"repro/internal/engine"
 	"repro/internal/taskgraph"
@@ -74,6 +75,14 @@ type Config struct {
 	// disconnect triggers. Per-job budgets ride the wire instead
 	// (wire.Job.TimeoutMS).
 	RequestTimeout time.Duration
+	// DefaultBattery, when non-nil, is the battery spec applied to jobs
+	// that select no battery of their own (neither a "battery" object
+	// nor a "beta" shorthand) — cmd/battschedd's -battery flag. It must
+	// be valid (New panics otherwise: a daemon misconfiguration should
+	// fail at startup, not per request). Jobs that do name a battery
+	// keep it; nil preserves the paper's default Rakhmatov
+	// configuration.
+	DefaultBattery *battery.Spec
 	// AccessLog, when non-nil, receives one JSON line per request
 	// (method, path, status, bytes, duration).
 	AccessLog *log.Logger
@@ -106,10 +115,42 @@ type metrics struct {
 	jobs     atomic.Uint64 // scheduling jobs executed or served from cache
 	canceled atomic.Uint64 // jobs cut short: disconnect, shutdown or timeout
 	inFlight atomic.Int64  // requests currently holding an in-flight slot
+	// modelKinds counts served jobs per battery-model kind (the
+	// /metrics "model_kinds" object), indexed parallel to specKinds
+	// and sized from it in New, so a future kind cannot overflow it.
+	// Jobs with a deprecated opaque model land in modelOpaque instead.
+	modelKinds  []atomic.Uint64
+	modelOpaque atomic.Uint64
 }
 
-// New builds a server from the config.
+// specKinds fixes the kind→counter index order once at startup (also
+// sparing a battery.Kinds() allocation per served job).
+var specKinds = battery.Kinds()
+
+// countModelKind attributes one served job to its battery-model kind.
+func (m *metrics) countModelKind(job engine.Job) {
+	spec, ok := job.Options.BatterySpec()
+	if !ok {
+		m.modelOpaque.Add(1)
+		return
+	}
+	for i, k := range specKinds {
+		if k == spec.Kind {
+			m.modelKinds[i].Add(1)
+			return
+		}
+	}
+}
+
+// New builds a server from the config. It panics on an invalid
+// Config.DefaultBattery — a misconfigured daemon must fail at startup,
+// not answer every request with the same 400.
 func New(cfg Config) *Server {
+	if cfg.DefaultBattery != nil {
+		if err := cfg.DefaultBattery.Validate(); err != nil {
+			panic(fmt.Sprintf("server: invalid Config.DefaultBattery: %v", err))
+		}
+	}
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
 	}
@@ -125,6 +166,7 @@ func New(cfg Config) *Server {
 		closed: make(chan struct{}),
 		start:  time.Now(),
 	}
+	s.metrics.modelKinds = make([]atomic.Uint64, len(specKinds))
 	if cfg.CacheEntries >= 0 {
 		s.cache = cache.New(cfg.CacheEntries)
 	}
@@ -182,6 +224,19 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 // and for embedding servers that want to inspect Stats.
 func (s *Server) Cache() *cache.Cache { return s.cache }
 
+// applyDefaultBattery fills Config.DefaultBattery into a job that
+// selected no battery of its own. Jobs carrying a "battery" object or
+// the "beta" shorthand (which resolves through Options.Beta) are left
+// alone, as are deprecated opaque models (impossible over the wire).
+func (s *Server) applyDefaultBattery(job *engine.Job) {
+	if s.cfg.DefaultBattery == nil {
+		return
+	}
+	if job.Options.Battery == nil && job.Options.Beta == 0 && job.Options.Model == nil {
+		job.Options.Battery = s.cfg.DefaultBattery
+	}
+}
+
 // Handler returns the routed handler, wrapped with the access logger.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -236,6 +291,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	s.applyDefaultBattery(&ejob)
 	if !s.acquire(r) {
 		s.writeError(w, http.StatusServiceUnavailable, errors.New("server: shutting down or request cancelled while waiting for capacity"))
 		return
@@ -246,6 +302,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	res, hit := s.engine.RunContext(ctx, ejob)
 	s.metrics.jobs.Add(1)
+	s.metrics.countModelKind(ejob)
 	s.metrics.canceled.Add(countCanceled(res))
 	out := wire.FromEngine(0, res)
 	w.Header().Set("Content-Type", "application/json")
@@ -285,6 +342,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("server: batch has %d jobs, limit is %d", len(jobs), s.cfg.MaxBatchJobs))
 		return
 	}
+	for i := range jobs {
+		if parseErrs[i] == nil {
+			s.applyDefaultBattery(&jobs[i])
+		}
+	}
 	if !s.acquire(r) {
 		s.writeError(w, http.StatusServiceUnavailable, errors.New("server: shutting down or request cancelled while waiting for capacity"))
 		return
@@ -303,6 +365,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i := range results {
 		if parseErrs[i] == nil {
 			canceledJobs += countCanceled(results[i])
+			s.metrics.countModelKind(jobs[i])
 		}
 	}
 	s.metrics.canceled.Add(canceledJobs)
@@ -359,9 +422,14 @@ type MetricsSnapshot struct {
 	Rejected      uint64            `json:"rejected"`
 	JobsTotal     uint64            `json:"jobs_total"`
 	Canceled      uint64            `json:"canceled"`
-	InFlight      int64             `json:"in_flight"`
-	MaxInFlight   int               `json:"max_in_flight"`
-	Cache         *cache.Stats      `json:"cache,omitempty"`
+	// ModelKinds counts served jobs per battery-model kind (rakhmatov,
+	// ideal, peukert, kibam, calibrated; "opaque" for deprecated
+	// Options.Model jobs from embedding callers). Kinds never served
+	// are omitted.
+	ModelKinds  map[string]uint64 `json:"model_kinds,omitempty"`
+	InFlight    int64             `json:"in_flight"`
+	MaxInFlight int               `json:"max_in_flight"`
+	Cache       *cache.Stats      `json:"cache,omitempty"`
 }
 
 // Metrics snapshots the counters (also what GET /metrics serves).
@@ -381,6 +449,18 @@ func (s *Server) Metrics() MetricsSnapshot {
 		Canceled:    s.metrics.canceled.Load(),
 		InFlight:    s.metrics.inFlight.Load(),
 		MaxInFlight: s.cfg.MaxInFlight,
+	}
+	kinds := map[string]uint64{}
+	for i, kind := range specKinds {
+		if n := s.metrics.modelKinds[i].Load(); n > 0 {
+			kinds[kind] = n
+		}
+	}
+	if n := s.metrics.modelOpaque.Load(); n > 0 {
+		kinds["opaque"] = n
+	}
+	if len(kinds) > 0 {
+		snap.ModelKinds = kinds
 	}
 	if s.cache != nil {
 		st := s.cache.Stats()

@@ -17,11 +17,16 @@ import (
 //     graph, positive finite deadline, canonical bounds respected —
 //     because front ends hand exactly these to the engine unchecked;
 //   - a slot with an error holds the zero placeholder job (nil graph),
-//     which the engine rejects instantly.
+//     which the engine rejects instantly;
+//   - a slot without an error never carries an invalid battery spec —
+//     negative/out-of-domain parameters, foreign parameters and unknown
+//     kinds are all structured decode errors, never panics (NaN/Inf
+//     literals cannot even parse as JSON; overflowing numbers like
+//     1e999 fail at decode time).
 //
-// The seed corpus is real traffic: fixture jobs for every strategy, an
-// inline graph built from testdata/g2.json, and the malformed shapes
-// the decode tests pin down.
+// The seed corpus is real traffic: fixture jobs for every strategy and
+// battery-spec kind, an inline graph built from testdata/g2.json, and
+// the malformed shapes the decode tests pin down.
 func FuzzDecodeJobs(f *testing.F) {
 	f.Add([]byte(`{"fixture":"g3","deadline":230}`))
 	f.Add([]byte(`{"name":"a","fixture":"g2","deadline":75,"strategy":"rv-dp"}` + "\n" +
@@ -32,6 +37,21 @@ func FuzzDecodeJobs(f *testing.F) {
 	f.Add([]byte(`{"fixture":"g3","deadline":-1}` + "\n" + `{"deadline":230}`))
 	f.Add([]byte(`{"fixture":"g3","deadline":230}{"fixture":"g2","deadline":75}`))
 	f.Add([]byte(`{"graph":{"tasks":[{"id":1,"points":[{"current":10,"time":1}]}]},"deadline":5}`))
+	// Battery specs: every kind valid once, plus the rejection shapes
+	// (unknown kind, negative/overflowing/foreign parameters, beta
+	// conflict, malformed observations).
+	f.Add([]byte(`{"fixture":"g3","deadline":230,"battery":{"kind":"rakhmatov","beta":0.35,"terms":12}}`))
+	f.Add([]byte(`{"fixture":"g3","deadline":230,"battery":{"kind":"ideal"}}` + "\n" +
+		`{"fixture":"g3","deadline":230,"battery":{"kind":"peukert","exponent":1.2,"ref_current":100}}` + "\n" +
+		`{"fixture":"g2","deadline":75,"battery":{"kind":"kibam","capacity":40000,"well_fraction":0.5,"rate_constant":0.1}}`))
+	f.Add([]byte(`{"fixture":"g3","deadline":230,"battery":{"kind":"calibrated","observations":[{"current":100,"lifetime":478},{"current":200,"lifetime":228.9}]}}`))
+	f.Add([]byte(`{"fixture":"g3","deadline":230,"battery":{"kind":"fluxcap"}}`))
+	f.Add([]byte(`{"fixture":"g3","deadline":230,"battery":{"kind":"rakhmatov","beta":-1}}` + "\n" +
+		`{"fixture":"g3","deadline":230,"battery":{"kind":"rakhmatov","beta":1e999}}` + "\n" +
+		`{"fixture":"g3","deadline":230,"battery":{"kind":"kibam","capacity":100,"well_fraction":2,"rate_constant":-0.1}}`))
+	f.Add([]byte(`{"fixture":"g3","deadline":230,"battery":{"kind":"ideal","beta":0.3}}`))
+	f.Add([]byte(`{"fixture":"g3","deadline":230,"beta":0.3,"battery":{"kind":"ideal"}}`))
+	f.Add([]byte(`{"fixture":"g3","deadline":230,"battery":{"kind":"calibrated","observations":[{"current":100,"lifetime":478}]}}`))
 	// An inline-graph job line assembled from the shared fixture file.
 	if spec, err := os.ReadFile(filepath.Join("..", "..", "testdata", "g2.json")); err == nil {
 		var compact bytes.Buffer
@@ -71,6 +91,11 @@ func FuzzDecodeJobs(f *testing.F) {
 			}
 			if j.Timeout < 0 {
 				t.Fatalf("line %d: negative timeout %v", i, j.Timeout)
+			}
+			if j.Options.Battery != nil {
+				if verr := j.Options.Battery.Validate(); verr != nil {
+					t.Fatalf("line %d: clean decode carries an invalid battery spec: %v", i, verr)
+				}
 			}
 		}
 	})

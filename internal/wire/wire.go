@@ -28,6 +28,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/battery"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/taskgraph"
@@ -50,8 +51,17 @@ type Job struct {
 	// engine.Strategies for the accepted names.
 	Strategy string `json:"strategy,omitempty"`
 	// Beta overrides the Rakhmatov diffusion parameter (0 = paper's
-	// 0.273 min^-1/2).
+	// 0.273 min^-1/2). Mutually exclusive with Battery, which subsumes
+	// it ({"beta":b} ≡ {"battery":{"kind":"rakhmatov","beta":b}}, down
+	// to sharing a cache entry).
 	Beta float64 `json:"beta,omitempty"`
+	// Battery declaratively selects the battery model the job is
+	// costed under: a kind (rakhmatov | ideal | peukert | kibam |
+	// calibrated) plus that kind's validated numeric parameters (see
+	// battery.Spec and docs/API.md). Absent means the paper's default
+	// Rakhmatov configuration. Spec jobs are fully cacheable — the
+	// canonical spec bytes are part of the result cache key.
+	Battery *battery.Spec `json:"battery,omitempty"`
 	// Restarts/Seed/RestartWorkers configure the multistart strategy;
 	// RestartWorkers 0 inherits the runner's worker bound.
 	Restarts       int   `json:"restarts,omitempty"`
@@ -189,6 +199,8 @@ func (j Job) Validate() error {
 		return fmt.Errorf("job %s: \"deadline\" must be positive, got %g", j.label(), j.Deadline)
 	case !finite(j.Beta) || j.Beta < 0:
 		return fmt.Errorf("job %s: \"beta\" must be a finite non-negative number, got %g", j.label(), j.Beta)
+	case j.Beta != 0 && j.Battery != nil:
+		return fmt.Errorf("job %s: has both \"beta\" and \"battery\" (use battery.beta)", j.label())
 	case j.Restarts < 0 || j.Restarts > MaxRestarts:
 		return fmt.Errorf("job %s: \"restarts\" must be in [0, %d], got %d", j.label(), MaxRestarts, j.Restarts)
 	case j.RestartWorkers < 0 || j.RestartWorkers > MaxRestartWorkers:
@@ -199,6 +211,13 @@ func (j Job) Validate() error {
 		return fmt.Errorf("job %s: has both \"fixture\" and \"graph\"", j.label())
 	case j.Fixture == "" && j.Graph == nil:
 		return fmt.Errorf("job %s: needs a \"fixture\" or an inline \"graph\"", j.label())
+	}
+	if j.Battery != nil {
+		// The battery package owns the per-kind parameter rules; its
+		// errors already name the offending field.
+		if err := j.Battery.Validate(); err != nil {
+			return fmt.Errorf("job %s: \"battery\": %w", j.label(), err)
+		}
 	}
 	// Inline graph content (finite positive times, finite non-negative
 	// currents, acyclic edges, …) is validated by taskgraph's Builder
@@ -221,7 +240,7 @@ func (j Job) ToEngine() (engine.Job, error) {
 		Name:     j.Name,
 		Deadline: j.Deadline,
 		Strategy: j.Strategy,
-		Options:  core.Options{Beta: j.Beta},
+		Options:  core.Options{Beta: j.Beta, Battery: j.Battery},
 		MultiStart: core.MultiStartOptions{
 			Restarts: j.Restarts,
 			Seed:     j.Seed,

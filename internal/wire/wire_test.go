@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/battery"
 	"repro/internal/engine"
 	"repro/internal/taskgraph"
 )
@@ -54,15 +55,27 @@ func TestDecodeJobRejectsBadInput(t *testing.T) {
 		{"negative current", `{"graph":{"tasks":[{"id":1,"points":[{"current":-10,"time":1}]}]},"deadline":5}`, "current must be finite and non-negative"},
 		{"zero time", `{"graph":{"tasks":[{"id":1,"points":[{"current":10,"time":0}]}]},"deadline":5}`, "time must be finite and positive"},
 		{"trailing data", `{"fixture":"g3","deadline":230}{"fixture":"g2","deadline":75}`, "trailing data"},
+		{"ok battery kibam", `{"fixture":"g3","deadline":230,"battery":{"kind":"kibam","capacity":40000,"well_fraction":0.5,"rate_constant":0.1}}`, ""},
+		{"ok battery ideal", `{"fixture":"g3","deadline":230,"battery":{"kind":"ideal"}}`, ""},
+		{"ok battery calibrated", `{"fixture":"g3","deadline":230,"battery":{"kind":"calibrated","observations":[{"current":100,"lifetime":478},{"current":200,"lifetime":228.9}]}}`, ""},
+		{"battery missing kind", `{"fixture":"g3","deadline":230,"battery":{}}`, "missing \"kind\""},
+		{"battery unknown kind", `{"fixture":"g3","deadline":230,"battery":{"kind":"fluxcap"}}`, "unknown spec kind"},
+		{"battery unknown field", `{"fixture":"g3","deadline":230,"battery":{"kind":"ideal","volts":3.3}}`, "unknown field"},
+		{"battery negative beta", `{"fixture":"g3","deadline":230,"battery":{"kind":"rakhmatov","beta":-0.2}}`, "\"beta\""},
+		{"battery overflowing beta", `{"fixture":"g3","deadline":230,"battery":{"kind":"rakhmatov","beta":1e999}}`, ""}, // decode-time range error; text varies
+		{"battery kibam bad rate", `{"fixture":"g3","deadline":230,"battery":{"kind":"kibam","capacity":40000,"well_fraction":0.5,"rate_constant":-0.1}}`, "\"rate_constant\""},
+		{"battery foreign param", `{"fixture":"g3","deadline":230,"battery":{"kind":"ideal","beta":0.3}}`, "does not take parameter"},
+		{"battery and beta", `{"fixture":"g3","deadline":230,"beta":0.3,"battery":{"kind":"ideal"}}`, "both \"beta\" and \"battery\""},
 	} {
 		err := decodeAndResolve(tc.line)
-		if tc.want == "" && tc.name != "overflowing deadline" {
+		overflowing := strings.Contains(tc.name, "overflowing")
+		if tc.want == "" && !overflowing {
 			if err != nil {
 				t.Errorf("%s: unexpected error: %v", tc.name, err)
 			}
 			continue
 		}
-		if tc.name == "overflowing deadline" {
+		if overflowing {
 			if err == nil {
 				t.Errorf("%s: error expected (decode-time range or finiteness check)", tc.name)
 			}
@@ -88,6 +101,13 @@ func TestValidateCatchesNonFiniteProgrammatic(t *testing.T) {
 		{"-Inf deadline", Job{Fixture: "g3", Deadline: math.Inf(-1)}, "finite"},
 		{"NaN beta", Job{Fixture: "g3", Deadline: 230, Beta: math.NaN()}, "\"beta\""},
 		{"Inf beta", Job{Fixture: "g3", Deadline: 230, Beta: math.Inf(1)}, "\"beta\""},
+		{"NaN spec beta", Job{Fixture: "g3", Deadline: 230,
+			Battery: &battery.Spec{Kind: battery.KindRakhmatov, Beta: math.NaN()}}, "\"beta\""},
+		{"Inf spec capacity", Job{Fixture: "g3", Deadline: 230,
+			Battery: &battery.Spec{Kind: battery.KindKiBaM, Capacity: math.Inf(1), WellFraction: 0.5, RateConstant: 0.1}}, "\"capacity\""},
+		{"NaN spec observation", Job{Fixture: "g3", Deadline: 230,
+			Battery: &battery.Spec{Kind: battery.KindCalibrated, Observations: []battery.Observation{
+				{Current: math.NaN(), Lifetime: 478}, {Current: 200, Lifetime: 228.9}}}}, "observation 0"},
 	} {
 		err := tc.job.Validate()
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
@@ -141,6 +161,36 @@ func TestToEngineResolvesGraphs(t *testing.T) {
 	}
 	if job.Timeout != 250*time.Millisecond {
 		t.Fatalf("timeout_ms not resolved: %v", job.Timeout)
+	}
+}
+
+// TestToEngineForwardsBattery: a wire battery spec rides into the
+// engine job's options and the resulting job is executable end to end.
+func TestToEngineForwardsBattery(t *testing.T) {
+	spec := battery.Spec{Kind: battery.KindKiBaM, Capacity: 40000, WellFraction: 0.5, RateConstant: 0.1}
+	job, err := (Job{Fixture: "g3", Deadline: 230, Battery: &spec}).ToEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Options.Battery == nil || job.Options.Battery.Kind != battery.KindKiBaM {
+		t.Fatalf("battery spec not forwarded: %+v", job.Options)
+	}
+	res := engine.RunBatch([]engine.Job{job}, 1)[0]
+	if res.Err != nil {
+		t.Fatalf("kibam job failed: %v", res.Err)
+	}
+	// The cost differs from the default Rakhmatov battery's — the spec
+	// actually reached the cost function.
+	def, err := (Job{Fixture: "g3", Deadline: 230}).ToEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defRes := engine.RunBatch([]engine.Job{def}, 1)[0]
+	if defRes.Err != nil {
+		t.Fatal(defRes.Err)
+	}
+	if res.Cost == defRes.Cost {
+		t.Fatalf("kibam cost %g equals default cost — spec ignored", res.Cost)
 	}
 }
 
