@@ -1,0 +1,211 @@
+// Command battlint is the repository's invariant checker: a
+// multichecker over the analyzers in internal/analysis/... that
+// machine-check what the test suite can only spot-check — canonical
+// encoders covering every exported field, contexts threaded once
+// received, map iteration order kept out of deterministic outputs, the
+// hot path free of allocating calls, and no dead stores.
+//
+// Standalone use (what scripts/lint.sh and CI run):
+//
+//	go run ./cmd/battlint ./...
+//	go run ./cmd/battlint -list
+//	go run ./cmd/battlint -run detrange,hotpath ./internal/core
+//
+// Findings print as "file:line:col: [analyzer] message"; the exit code
+// is 1 when there are findings, 2 on usage or load errors, 0 when
+// clean. A finding is acknowledged in place with
+// //battlint:allow <analyzer> <reason> — see internal/analysis.
+//
+// battlint also speaks the go vet driver protocol (-V=full handshake,
+// -flags, and single <unit>.cfg invocations), so a built binary works
+// as a vettool:
+//
+//	go build -o /tmp/battlint ./cmd/battlint
+//	go vet -vettool=/tmp/battlint ./...
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/canonfields"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/detrange"
+	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/unusedwrite"
+)
+
+// all is the battlint vocabulary: every analyzer, in the order -list
+// prints them. Filter treats exactly these names as known in
+// //battlint:allow comments.
+var all = []*analysis.Analyzer{
+	canonfields.Analyzer,
+	ctxflow.Analyzer,
+	detrange.Analyzer,
+	hotpath.Analyzer,
+	unusedwrite.Analyzer,
+}
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) int {
+	// The go vet driver invokes its tool with exactly one argument per
+	// protocol step: -V=full to identify the tool, -flags to discover
+	// tool flags, then one <unit>.cfg per package.
+	if len(args) == 1 {
+		switch {
+		case strings.HasPrefix(args[0], "-V"):
+			fmt.Printf("%s version v1 buildID=battlint-v1\n", progname())
+			return 0
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return vetUnit(args[0])
+		}
+	}
+
+	fs := flag.NewFlagSet("battlint", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: battlint [-list] [-run names] [package patterns]\n")
+		fs.PrintDefaults()
+	}
+	list := fs.Bool("list", false, "print the analyzers and exit")
+	runNames := fs.String("run", "", "comma-separated analyzer `names` to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	known := knownNames()
+	selected := all
+	if *runNames != "" {
+		selected = nil
+		for _, name := range strings.Split(*runNames, ",") {
+			name = strings.TrimSpace(name)
+			a := byName(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "battlint: unknown analyzer %q (see battlint -list)\n", name)
+				return 2
+			}
+			selected = append(selected, a)
+		}
+	}
+	ran := map[string]bool{}
+	for _, a := range selected {
+		ran[a.Name] = true
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "battlint:", err)
+		return 2
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		findings, err := analysis.RunAnalyzers(pkg, selected)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "battlint:", err)
+			return 2
+		}
+		for _, f := range analysis.Filter(findings, pkg, known, ran) {
+			fmt.Println(f)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// vetConfig is the subset of the go vet unit-config JSON battlint
+// reads (the shape x/tools' unitchecker documents).
+type vetConfig struct {
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one package on behalf of the go vet driver.
+func vetUnit(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "battlint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "battlint: parsing %s: %v\n", path, err)
+		return 2
+	}
+	// battlint keeps no cross-package facts, but the driver caches and
+	// re-feeds the facts file, so it must exist.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "battlint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	pkg, err := analysis.LoadVetUnit(cfg.ImportPath, cfg.GoFiles, cfg.PackageFile, cfg.ImportMap)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "battlint:", err)
+		return 2
+	}
+	findings, err := analysis.RunAnalyzers(pkg, all)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "battlint:", err)
+		return 2
+	}
+	filtered := analysis.Filter(findings, pkg, knownNames(), nil)
+	for _, f := range filtered {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(filtered) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func knownNames() map[string]bool {
+	known := map[string]bool{}
+	for _, a := range all {
+		known[a.Name] = true
+	}
+	return known
+}
+
+func byName(name string) *analysis.Analyzer {
+	for _, a := range all {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+func progname() string {
+	name := filepath.Base(os.Args[0])
+	return strings.TrimSuffix(name, ".exe")
+}

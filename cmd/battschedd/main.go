@@ -122,6 +122,7 @@ func serve(ctx context.Context, l net.Listener, s *server.Server, logger *log.Lo
 	}
 	logger.Printf("battschedd: shutting down (draining up to %s)", shutdownGrace)
 	s.Close()
+	//battlint:allow ctxflow ctx is already cancelled here; deriving the drain deadline from it would skip the drain
 	drainCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {

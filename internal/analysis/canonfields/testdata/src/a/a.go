@@ -1,0 +1,72 @@
+package a
+
+// Spec mirrors battery.Spec: a struct with an AppendCanonical encoder.
+// Omitted is the seeded violation — a field added without a matching
+// canonical write.
+type Spec struct {
+	Kind    string
+	Beta    float64
+	Omitted float64
+	note    string // unexported: not part of the contract
+}
+
+func (s Spec) AppendCanonical(dst []byte) []byte { // want `AppendCanonical does not canonicalize exported field Spec\.Omitted`
+	dst = appendStr(dst, s.Kind)
+	dst = appendF64(dst, s.Beta)
+	return dst
+}
+
+// Pair's encoder covers its fields only through same-package helpers:
+// coverage must follow the local call graph.
+type Pair struct {
+	A int
+	B int
+}
+
+func (p Pair) AppendCanonical(dst []byte) []byte {
+	return p.encodeB(p.encodeA(dst))
+}
+
+func (p Pair) encodeA(dst []byte) []byte { return appendI64(dst, int64(p.A)) }
+func (p Pair) encodeB(dst []byte) []byte { return appendI64(dst, int64(p.B)) }
+
+// Options is canonicalized by an annotated free function, the
+// cache.Key shape: Z is consciously excluded.
+type Options struct {
+	X int
+	Y int
+	Z int
+}
+
+//battlint:canonical Options -Z
+func hashOptions(o Options) int {
+	return o.X + o.Y
+}
+
+//battlint:canonical Options -Y
+func hashStale(o Options) int { // want `hashStale does not canonicalize exported field Options\.Z` `stale exclusion: Options\.Y is listed as -Y but the encoder writes it`
+	return o.X + o.Y
+}
+
+//battlint:canonical Options -Q
+func hashTypo(o Options) int { // want `exclusion -Q names no field of Options`
+	return o.X + o.Y + o.Z
+}
+
+// hashAllowed leaves Z unencoded and acknowledges the finding in place
+// rather than excluding the field — the suppression path.
+//
+//battlint:canonical Options
+//battlint:allow canonfields Z is hashed by a separate digest in this fixture
+func hashAllowed(o Options) int { // want `hashAllowed does not canonicalize exported field Options\.Z`
+	return o.X + o.Y
+}
+
+//battlint:canonical NoSuchType
+func hashUnresolved() int { // want `battlint:canonical: cannot resolve type "NoSuchType"`
+	return 0
+}
+
+func appendStr(dst []byte, s string) []byte  { return append(dst, s...) }
+func appendF64(dst []byte, v float64) []byte { return append(dst, byte(int(v))) }
+func appendI64(dst []byte, v int64) []byte   { return append(dst, byte(v)) }

@@ -1,0 +1,20 @@
+// Package b exercises cross-package claims: the cache.Key shape, where
+// the encoder lives in a different package than the struct it hashes.
+package b
+
+import "a"
+
+//battlint:canonical a.Options -Z
+func Hash(o a.Options) int {
+	return o.X + o.Y
+}
+
+//battlint:canonical nosuchpkg.Options
+func HashBadPkg(o a.Options) int { // want `battlint:canonical: no imported package named "nosuchpkg"`
+	return o.X
+}
+
+//battlint:canonical a.Options
+func HashMissing(o a.Options) int { // want `HashMissing does not canonicalize exported field a\.Options\.Z`
+	return o.X + o.Y
+}

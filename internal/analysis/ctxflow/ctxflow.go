@@ -1,0 +1,135 @@
+// Package ctxflow keeps the request-scoped cancellation plumbing from
+// regressing: once a function has been handed a context.Context, the
+// context must keep flowing. Inside any function (or closure) with a
+// ctx parameter in scope it reports
+//
+//   - calls to context.Background() or context.TODO(), which detach the
+//     callee from the caller's cancellation, and
+//   - calls to a function or method Run when a RunContext sibling
+//     exists (same package for functions, same receiver type for
+//     methods, first parameter context.Context) — the call silently
+//     drops the in-scope ctx that the ...Context variant would carry.
+//
+// Exported no-ctx compatibility wrappers (Run calling
+// RunContext(context.Background())) are exactly the place Background
+// belongs, and they are not flagged: the wrapper itself has no ctx
+// parameter. Deliberate detachment inside a ctx-bearing function — a
+// background task that must outlive the request — is acknowledged with
+// //battlint:allow ctxflow <reason>.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "a function that receives a context must thread it: no context.Background/TODO, no dropping ctx when a ...Context variant of the callee exists",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					walk(pass, d.Body, hasCtxParam(pass, d.Type))
+				}
+			case *ast.GenDecl:
+				// Function literals in var initializers.
+				walk(pass, d, false)
+			}
+		}
+	}
+	return nil
+}
+
+// walk visits body; inCtx reports whether a context parameter is
+// lexically in scope (own parameter or an enclosing function's).
+func walk(pass *analysis.Pass, n ast.Node, inCtx bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			walk(pass, n.Body, inCtx || hasCtxParam(pass, n.Type))
+			return false // the recursive walk owns this subtree
+		case *ast.CallExpr:
+			if inCtx {
+				checkCall(pass, n)
+			}
+		}
+		return true
+	})
+}
+
+// checkCall reports ctx-dropping calls; ctx is known to be in scope.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") {
+		pass.Reportf(call.Pos(), "context.%s() inside a function that already has a ctx: thread the caller's ctx (or //battlint:allow ctxflow <reason> if this work must outlive it)", fn.Name())
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || takesCtxFirst(sig) {
+		return // already the context-aware variant
+	}
+	variant := fn.Name() + "Context"
+	if found := lookupVariant(fn, sig, variant); found != nil {
+		pass.Reportf(call.Pos(), "call to %s drops the in-scope ctx: use %s", fn.Name(), variant)
+	}
+}
+
+// lookupVariant finds <name>Context with a leading context.Context
+// parameter — among the methods of fn's receiver type for methods, in
+// fn's package scope for package-level functions.
+func lookupVariant(fn *types.Func, sig *types.Signature, variant string) *types.Func {
+	if recv := sig.Recv(); recv != nil {
+		obj, _, _ := types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), variant)
+		if m, ok := obj.(*types.Func); ok {
+			if msig, ok := m.Type().(*types.Signature); ok && takesCtxFirst(msig) {
+				return m
+			}
+		}
+		return nil
+	}
+	if m, ok := fn.Pkg().Scope().Lookup(variant).(*types.Func); ok {
+		if msig, ok := m.Type().(*types.Signature); ok && takesCtxFirst(msig) {
+			return m
+		}
+	}
+	return nil
+}
+
+// hasCtxParam reports whether the function type declares a
+// context.Context parameter.
+func hasCtxParam(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isCtxType(pass.TypesInfo.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+func takesCtxFirst(sig *types.Signature) bool {
+	return sig.Params().Len() > 0 && isCtxType(sig.Params().At(0).Type())
+}
+
+func isCtxType(t types.Type) bool {
+	named := analysis.NamedBase(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

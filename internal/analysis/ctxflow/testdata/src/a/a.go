@@ -1,0 +1,60 @@
+package a
+
+import "context"
+
+// Run is the compatibility-wrapper shape: no ctx parameter, so the
+// Background here is exactly where it belongs.
+func Run() error { return RunContext(context.Background()) }
+
+func RunContext(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+func leak(ctx context.Context) error {
+	_ = context.Background() // want `context\.Background\(\) inside a function that already has a ctx`
+	_ = context.TODO()       // want `context\.TODO\(\) inside a function that already has a ctx`
+	err := Run()             // want `call to Run drops the in-scope ctx: use RunContext`
+	if err != nil {
+		return err
+	}
+	return RunContext(ctx)
+}
+
+type Engine struct{}
+
+func (e *Engine) Do()                           {}
+func (e *Engine) DoContext(ctx context.Context) { _ = ctx }
+func (e *Engine) Close()                        {}
+
+func methods(ctx context.Context, e *Engine) {
+	e.Do() // want `call to Do drops the in-scope ctx: use DoContext`
+	e.DoContext(ctx)
+	e.Close() // fine: no CloseContext exists
+}
+
+// Closures inherit the enclosing ctx lexically.
+func closures(ctx context.Context) func() {
+	return func() {
+		_ = context.TODO() // want `context\.TODO\(\)`
+	}
+}
+
+// And a closure can introduce its own ctx.
+var hook = func(ctx context.Context) {
+	_ = context.Background() // want `context\.Background\(\)`
+}
+
+// spawnAudit detaches deliberately: the audit record must outlive the
+// request, and says so in place.
+func spawnAudit(ctx context.Context) {
+	_ = ctx
+	//battlint:allow ctxflow the audit record must outlive request cancellation
+	bg := context.Background() // want `context\.Background\(\) inside a function that already has a ctx`
+	_ = bg
+}
+
+func noCtxAnywhere() {
+	_ = context.Background() // fine: nothing to thread
+	_ = Run()                // fine: no ctx in scope
+}

@@ -1,0 +1,264 @@
+// Package detrange guards byte-determinism: in a package marked
+//
+//	//battlint:deterministic
+//
+// (battery, cache, wire, core, taskgraph, engine, sched — everything
+// whose output feeds canonical encodings, cache keys or cached result
+// bodies), ranging over a map is reported unless the loop is one of the
+// shapes whose result provably cannot depend on Go's randomized
+// iteration order:
+//
+//   - sorted-keys collection: `for k := range m { s = append(s, k) }`
+//     followed, later in the same block, by a sort of s
+//     (sort.Ints/Strings/Float64s/Sort/Slice/Stable or slices.Sort*);
+//   - order-free writes: a body consisting only of single-assignments
+//     into other maps, `dst[k] = v` (distinct keys write distinct
+//     entries) or `dst[v] = <constant>` (duplicate values rewrite the
+//     same entry with the same constant), and/or `delete(m2, k)`;
+//
+// Anything else — appending values, folding a float sum, building an
+// output line — can leak iteration order into bytes that PR 2/4/5
+// promise are identical across runs, which silently splits
+// content-addressed cache entries or flips bit-exactness. A loop that
+// is order-independent for a deeper reason (a max over values, a
+// commutative integer fold) is acknowledged in place with
+// //battlint:allow detrange <reason>.
+package detrange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Directive is the package marker that activates this analyzer.
+const Directive = "battlint:deterministic"
+
+// Analyzer is the detrange check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc:  "no map iteration order can reach the outputs of //battlint:deterministic packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.HasPackageDirective(pass.Files, Directive) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if list := stmtList(n); list != nil {
+				checkList(pass, list)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// stmtList returns the statement list a node directly holds, if any.
+// Every statement lives in exactly one such list, so visiting lists
+// visits every range statement once — with its block tail in hand for
+// the collect-then-sort idiom.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+// checkList examines every map-range statement in one statement list,
+// with the list's tail available for the collect-then-sort idiom.
+func checkList(pass *analysis.Pass, list []ast.Stmt) {
+	for i, stmt := range list {
+		for {
+			ls, ok := stmt.(*ast.LabeledStmt)
+			if !ok {
+				break
+			}
+			stmt = ls.Stmt
+		}
+		rs, ok := stmt.(*ast.RangeStmt)
+		if !ok {
+			continue
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			continue
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			continue
+		}
+		if orderFreeWrites(pass, rs) || collectThenSort(pass, rs, list[i+1:]) {
+			continue
+		}
+		pass.Reportf(rs.For, "range over map in a deterministic package: iteration order is randomized; collect keys and sort, write key-to-key into another map, or //battlint:allow detrange <why order cannot reach the output>")
+	}
+}
+
+// rangeVars returns the key and value loop variables as idents (nil
+// when absent or blank).
+func rangeVars(rs *ast.RangeStmt) (key, value *ast.Ident) {
+	asIdent := func(e ast.Expr) *ast.Ident {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			return id
+		}
+		return nil
+	}
+	if rs.Key != nil {
+		key = asIdent(rs.Key)
+	}
+	if rs.Value != nil {
+		value = asIdent(rs.Value)
+	}
+	return key, value
+}
+
+// orderFreeWrites reports whether every statement of the body is an
+// order-independent map write or delete.
+func orderFreeWrites(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	key, value := rangeVars(rs)
+	if len(rs.Body.List) == 0 {
+		return true // an empty body observes nothing
+	}
+	for _, stmt := range rs.Body.List {
+		switch stmt := stmt.(type) {
+		case *ast.AssignStmt:
+			if !orderFreeAssign(pass, stmt, key, value) {
+				return false
+			}
+		case *ast.ExprStmt:
+			if !deleteByKey(pass, stmt.X, key) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// orderFreeAssign recognizes `dst[k] = v` and `dst[v] = <constant>`.
+func orderFreeAssign(pass *analysis.Pass, as *ast.AssignStmt, key, value *ast.Ident) bool {
+	if as.Tok.String() != "=" || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	idx, ok := as.Lhs[0].(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	if xt := pass.TypesInfo.TypeOf(idx.X); xt == nil {
+		return false
+	} else if _, isMap := xt.Underlying().(*types.Map); !isMap {
+		return false
+	}
+	switch {
+	case isUse(pass, idx.Index, key):
+		// Distinct keys address distinct entries: the RHS may be the
+		// key, the value, or any constant.
+		rhs := ast.Unparen(as.Rhs[0])
+		return isUse(pass, rhs, key) || isUse(pass, rhs, value) || isConst(pass, rhs)
+	case isUse(pass, idx.Index, value):
+		// Duplicate values collide on one entry, so the write must be
+		// idempotent: a constant RHS only.
+		return isConst(pass, as.Rhs[0])
+	}
+	return false
+}
+
+// deleteByKey recognizes `delete(m, k)`.
+func deleteByKey(pass *analysis.Pass, e ast.Expr, key *ast.Ident) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "delete" {
+		return false
+	}
+	return isUse(pass, call.Args[1], key)
+}
+
+// collectThenSort recognizes the sorted-keys idiom: a body that only
+// appends the key to a slice, with that slice sorted later in the
+// enclosing block.
+func collectThenSort(pass *analysis.Pass, rs *ast.RangeStmt, tail []ast.Stmt) bool {
+	key, value := rangeVars(rs)
+	if value != nil || key == nil {
+		return false // collecting (k, v) pairs is already order-dependent
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok.String() != "=" || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	dst, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fid, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok {
+		return false
+	} else if b, ok := pass.TypesInfo.Uses[fid].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	if !isUse(pass, call.Args[0], dst) || !isUse(pass, call.Args[1], key) {
+		return false
+	}
+	// The collected slice must be sorted before the block ends.
+	for _, stmt := range tail {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			continue
+		}
+		if pkg := fn.Pkg().Path(); pkg != "sort" && pkg != "slices" {
+			continue
+		}
+		if isUse(pass, call.Args[0], dst) {
+			return true
+		}
+	}
+	return false
+}
+
+// isUse reports whether e is a use of exactly the variable target
+// denotes.
+func isUse(pass *analysis.Pass, e ast.Expr, target *ast.Ident) bool {
+	if target == nil {
+		return false
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	want := pass.TypesInfo.ObjectOf(target)
+	return want != nil && pass.TypesInfo.ObjectOf(id) == want
+}
+
+// isConst reports whether e is a compile-time constant (true, 0, "x").
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	return ok && tv.Value != nil
+}

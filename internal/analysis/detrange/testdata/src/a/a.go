@@ -1,0 +1,92 @@
+//battlint:deterministic
+
+// Package a seeds determinism violations: it is marked deterministic,
+// so map ranges must use an order-independent idiom.
+package a
+
+import (
+	"slices"
+	"sort"
+)
+
+func foldValues(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map in a deterministic package`
+		total += v
+	}
+	return total
+}
+
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map in a deterministic package`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func collectValues(m map[string]int) []int {
+	var vals []int
+	for _, v := range m { // want `range over map in a deterministic package`
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	return vals
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedKeysSlices(m map[int]bool) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+func copyMap(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func valueSet(src map[string]string) map[string]bool {
+	set := map[string]bool{}
+	for _, v := range src {
+		set[v] = true
+	}
+	return set
+}
+
+func valueIndex(src map[string]string) map[string]string {
+	idx := map[string]string{}
+	for k, v := range src { // want `range over map in a deterministic package`
+		idx[v] = k // duplicate values collide: last writer wins by order
+	}
+	return idx
+}
+
+func purge(m map[string]int, doomed map[string]bool) {
+	for k := range doomed {
+		delete(m, k)
+	}
+}
+
+func allowed(m map[string]int) int {
+	max := 0
+	//battlint:allow detrange max is commutative; order cannot reach the result
+	for _, v := range m { // want `range over map in a deterministic package`
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}

@@ -1,0 +1,19 @@
+// Package b is NOT marked //battlint:deterministic: detrange must stay
+// silent however order-dependent the loops are.
+package b
+
+func foldValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func joinKeys(m map[string]bool) string {
+	s := ""
+	for k := range m {
+		s += k
+	}
+	return s
+}

@@ -1,0 +1,115 @@
+// Package hotpath protects the scratch-arena search path's 0 allocs/op
+// steady state (PR 4): a function whose doc comment carries the
+// directive
+//
+//	//battsched:hotpath
+//
+// must stay free of the cheap-looking calls that would silently put
+// allocations or wall-clock reads back on the per-window path:
+//
+//   - any call into package fmt (Sprintf/Errorf/… all allocate),
+//   - time.Now / time.Since / time.Until (a vDSO call per window adds
+//     up, and wall-clock reads do not belong in a deterministic search),
+//   - anything from math/rand or math/rand/v2 (the search is
+//     deterministic; randomness belongs to multistart seeding only),
+//   - defer inside a loop (each iteration allocates a deferred frame
+//     that only runs at function exit).
+//
+// The check is on direct calls in the annotated function (closures
+// included): annotate the functions BenchmarkTable3WindowSweep proves
+// allocation-free, and the analyzer keeps them that way. An
+// intentional exception is acknowledged with
+// //battlint:allow hotpath <reason>.
+package hotpath
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Directive marks a function as part of the allocation-free hot path.
+const Directive = "battsched:hotpath"
+
+// Analyzer is the hotpath check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "//battsched:hotpath functions must not call fmt, time.Now, or math/rand, or defer inside a loop",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if args, _ := analysis.FuncDirectives(fn, Directive); len(args) == 0 {
+				continue
+			}
+			check(pass, fn)
+		}
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, fn *ast.FuncDecl) {
+	// loopDepth tracks lexical loop nesting to catch defer-in-loop.
+	var visit func(n ast.Node, loopDepth int)
+	visit = func(n ast.Node, loopDepth int) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				visit(n.Body, loopDepth+1)
+				if n.Init != nil {
+					visit(n.Init, loopDepth)
+				}
+				if n.Cond != nil {
+					visit(n.Cond, loopDepth)
+				}
+				if n.Post != nil {
+					visit(n.Post, loopDepth)
+				}
+				return false
+			case *ast.RangeStmt:
+				visit(n.Body, loopDepth+1)
+				if n.X != nil {
+					visit(n.X, loopDepth)
+				}
+				return false
+			case *ast.FuncLit:
+				// A closure's defers run per closure call, not per
+				// enclosing-loop iteration: reset the depth.
+				visit(n.Body, 0)
+				return false
+			case *ast.DeferStmt:
+				if loopDepth > 0 {
+					pass.Reportf(n.Pos(), "%s is a hot-path function: defer inside a loop allocates per iteration and runs only at return", fn.Name.Name)
+				}
+			case *ast.CallExpr:
+				checkCall(pass, fn, n)
+			}
+			return true
+		})
+	}
+	visit(fn.Body, 0)
+}
+
+func checkCall(pass *analysis.Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	callee := analysis.CalleeFunc(pass.TypesInfo, call)
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	switch callee.Pkg().Path() {
+	case "fmt":
+		pass.Reportf(call.Pos(), "%s is a hot-path function: fmt.%s allocates; format off the hot path or build bytes by hand", fn.Name.Name, callee.Name())
+	case "time":
+		switch callee.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(), "%s is a hot-path function: time.%s reads the wall clock per call; hoist timing out of the search", fn.Name.Name, callee.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		pass.Reportf(call.Pos(), "%s is a hot-path function: the search is deterministic; math/rand belongs only in multistart seeding", fn.Name.Name)
+	}
+}

@@ -1,0 +1,64 @@
+package a
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// hot is annotated and clean: plain arithmetic and local appends.
+//
+//battsched:hotpath
+func hot(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// bad is annotated and seeds every violation class.
+//
+//battsched:hotpath
+func bad(xs []float64) string {
+	t0 := time.Now() // want `bad is a hot-path function: time\.Now reads the wall clock per call`
+	for range xs {
+		defer trace() // want `bad is a hot-path function: defer inside a loop allocates per iteration`
+	}
+	jitter := rand.Float64()                // want `bad is a hot-path function: the search is deterministic; math/rand belongs only in multistart seeding`
+	return fmt.Sprintf("%v %v", t0, jitter) // want `bad is a hot-path function: fmt\.Sprintf allocates`
+}
+
+// cold is NOT annotated: the same calls are fine here.
+func cold(xs []float64) string {
+	t0 := time.Now()
+	defer trace()
+	return fmt.Sprintf("%v %v", t0, rand.Float64())
+}
+
+// closureDefer's defer runs per closure call, not per loop iteration.
+//
+//battsched:hotpath
+func closureDefer(xs []float64) {
+	for range xs {
+		fn := func() {
+			defer trace()
+		}
+		fn()
+	}
+}
+
+// setup is annotated but times itself once at entry, acknowledged in
+// place.
+//
+//battsched:hotpath
+func setup(xs []float64) time.Time {
+	//battlint:allow hotpath one wall-clock read at entry, outside the per-window loop
+	t0 := time.Now() // want `setup is a hot-path function: time\.Now reads the wall clock per call`
+	for _, x := range xs {
+		_ = x
+	}
+	return t0
+}
+
+func trace() {}

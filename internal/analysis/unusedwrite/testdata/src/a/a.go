@@ -1,0 +1,71 @@
+package a
+
+func f() int  { return 1 }
+func g() int  { return 2 }
+func use(int) {}
+
+func deadStore() int {
+	x := f() // want `this value of x is never used: it is overwritten at line 9 before any read`
+	x = g()
+	return x
+}
+
+func selfAssigned() int {
+	x := f()
+	x = x // want `self-assignment of x`
+	return x
+}
+
+func readBetween() int {
+	x := f()
+	use(x)
+	x = g()
+	return x
+}
+
+func branchBetween(cond bool) int {
+	x := f()
+	if cond {
+		return 0
+	}
+	x = g() // the branch could have observed... nothing, but we stay conservative
+	return x
+}
+
+func escaped() int {
+	x := f()
+	p := &x
+	x = g()
+	return *p
+}
+
+func captured() func() int {
+	x := f()
+	probe := func() int { return x }
+	x = g()
+	return probe
+}
+
+func compound() int {
+	x := f()
+	x += g() // reads x: not a dead store
+	return x
+}
+
+func blanked() {
+	_ = f()
+	_ = g()
+}
+
+func namedResult() (x int) {
+	x = f()
+	x = g() // named results feed bare returns and defers: never tracked
+	return
+}
+
+func allowed() int {
+	//battlint:allow unusedwrite keeping the call for its side effect while the rewrite lands
+	x := f() // want `this value of x is never used: it is overwritten at line \d+ before any read`
+	x = g()
+	return x
+}

@@ -1,0 +1,227 @@
+// Package unusedwrite is a conservative, block-local dead-store check —
+// the battlint stand-in for x/tools' SSA-based unusedwrite pass, which
+// needs golang.org/x/tools and so cannot be vendored here. It reports a
+// value assigned to a local variable that is provably overwritten
+// before any read:
+//
+//	x = f()   // reported: never read
+//	x = g()
+//
+// To keep every report true it only fires when nothing can observe the
+// first write: the variable's address is never taken, no closure in the
+// function captures it, both writes are single-assignments in the same
+// statement list, and no intervening statement mentions the variable or
+// branches (if/for/switch/select/return/goto/defer/go all end the
+// window). Self-assignment x = x is reported under the same contract.
+//
+// A dead store is usually a refactoring leftover — and occasionally the
+// symptom of a real bug where the second write was meant to use the
+// first. Either way the code misleads; delete the store or use it.
+package unusedwrite
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the unusedwrite check.
+var Analyzer = &analysis.Analyzer{
+	Name: "unusedwrite",
+	Doc:  "a value assigned to a local variable must not be overwritten before any read (block-local, alias-free cases only)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkFunc(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	escaped := escapedVars(pass, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if list := stmtList(n); list != nil {
+			checkList(pass, fn, escaped, list)
+		}
+		return true
+	})
+}
+
+// stmtList returns the statement list a node directly holds, if any.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+// pendingWrite is an unobserved store awaiting a read or an overwrite.
+type pendingWrite struct {
+	pos token.Pos
+	rhs ast.Expr
+}
+
+// checkList scans one straight statement list, tracking the last
+// unread write per local variable. Any statement that could transfer
+// control or observe memory indirectly clears all pending writes.
+func checkList(pass *analysis.Pass, fn *ast.FuncDecl, escaped map[types.Object]bool, list []ast.Stmt) {
+	pending := map[types.Object]pendingWrite{}
+	for _, stmt := range list {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 ||
+			(as.Tok != token.ASSIGN && as.Tok != token.DEFINE) {
+			// Not a single plain write: anything this statement mentions
+			// counts as a read, and control flow ends every window.
+			if branches(stmt) {
+				clear(pending)
+			} else {
+				markReads(pass, stmt, pending)
+			}
+			continue
+		}
+
+		obj := localTarget(pass, fn, escaped, as.Lhs[0])
+
+		// Reads on the RHS come first (x = x+1 reads x), and a write
+		// through any OTHER lvalue shape (x.f = v, a[i] = v) is an
+		// opaque read of everything it mentions.
+		markReads(pass, as.Rhs[0], pending)
+		if obj == nil {
+			markReads(pass, as.Lhs[0], pending)
+			continue
+		}
+
+		if prev, ok := pending[obj]; ok {
+			pass.Reportf(prev.pos, "this value of %s is never used: it is overwritten at line %d before any read",
+				obj.Name(), pass.Fset.Position(as.Pos()).Line)
+		}
+		if selfAssign(pass, as) {
+			pass.Reportf(as.Pos(), "self-assignment of %s", obj.Name())
+		}
+		pending[obj] = pendingWrite{pos: as.Pos(), rhs: as.Rhs[0]}
+	}
+}
+
+// localTarget resolves an assignment target to a trackable local
+// variable: a plain ident whose object is a non-escaping local var.
+func localTarget(pass *analysis.Pass, fn *ast.FuncDecl, escaped map[types.Object]bool, lhs ast.Expr) types.Object {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	v, ok := obj.(*types.Var)
+	if !ok || escaped[obj] || v.IsField() {
+		return nil
+	}
+	// Only variables declared inside this function: package-level vars
+	// are observable by anything.
+	if obj.Pos() < fn.Pos() || obj.Pos() > fn.End() {
+		return nil
+	}
+	// Named results are read by every return (including bare returns)
+	// and by deferred functions.
+	if isNamedResult(pass, fn, obj) {
+		return nil
+	}
+	return obj
+}
+
+// branches reports whether the statement can transfer control (ending
+// the straight-line window) — or detach work that may run later.
+func branches(stmt ast.Stmt) bool {
+	switch stmt.(type) {
+	case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+		*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.BranchStmt,
+		*ast.LabeledStmt, *ast.ReturnStmt, *ast.DeferStmt, *ast.GoStmt,
+		*ast.BlockStmt:
+		return true
+	}
+	return false
+}
+
+// markReads clears the pending write of every variable the node
+// mentions.
+func markReads(pass *analysis.Pass, n ast.Node, pending map[types.Object]pendingWrite) {
+	if n == nil || len(pending) == 0 {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				delete(pending, obj)
+			}
+		}
+		return true
+	})
+}
+
+// selfAssign reports x = x.
+func selfAssign(pass *analysis.Pass, as *ast.AssignStmt) bool {
+	if as.Tok != token.ASSIGN {
+		return false
+	}
+	l, lok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	r, rok := ast.Unparen(as.Rhs[0]).(*ast.Ident)
+	return lok && rok &&
+		pass.TypesInfo.ObjectOf(l) != nil &&
+		pass.TypesInfo.ObjectOf(l) == pass.TypesInfo.ObjectOf(r)
+}
+
+// escapedVars collects every variable whose address is taken or that is
+// referenced from a closure anywhere in the function — those can be
+// read between any two statements, so they are never tracked.
+func escapedVars(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	escaped := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+						escaped[obj] = true
+					}
+				}
+			}
+		case *ast.FuncLit:
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+						escaped[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return escaped
+}
+
+// isNamedResult reports whether obj is one of fn's named results.
+func isNamedResult(pass *analysis.Pass, fn *ast.FuncDecl, obj types.Object) bool {
+	if fn.Type.Results == nil {
+		return false
+	}
+	for _, field := range fn.Type.Results.List {
+		for _, name := range field.Names {
+			if pass.TypesInfo.ObjectOf(name) == obj {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,27 @@
+package unusedwrite_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/unusedwrite"
+)
+
+func TestUnusedWrite(t *testing.T) {
+	analysistest.Run(t, "testdata", unusedwrite.Analyzer, "a")
+}
+
+// TestSuppression proves the //battlint:allow unusedwrite in allowed()
+// drops exactly its one finding, with no battlint meta-findings.
+func TestSuppression(t *testing.T) {
+	raw, filtered := analysistest.RunFiltered(t, "testdata", unusedwrite.Analyzer, "a")
+	if want := len(raw) - 1; len(filtered) != want {
+		t.Errorf("filtered findings = %d, want %d (one suppressed)", len(filtered), want)
+	}
+	for _, f := range filtered {
+		if f.Analyzer == analysis.MetaAnalyzer {
+			t.Errorf("unexpected meta-finding: %v", f)
+		}
+	}
+}

@@ -8,6 +8,8 @@
 //
 // Units follow the paper: currents in mA, times in minutes, charge in
 // mA·min, and the diffusion parameter beta in min^(-1/2).
+//
+//battlint:deterministic
 package battery
 
 import (

@@ -79,6 +79,8 @@ var defaultSeriesKs = func() []float64 {
 // accepted because its consumers (the closed-form cross-check test and
 // the calibration fit's spread objective) are tolerance-based, and two
 // evaluators of the same Equation-1 constants should not disagree.
+//
+//battsched:hotpath
 func fillSeriesKs(dst []float64, b2 float64) []float64 {
 	for m := 1; m <= len(dst); m++ {
 		m2 := float64(m) * float64(m)
@@ -91,6 +93,8 @@ func fillSeriesKs(dst []float64, b2 float64) []float64 {
 // default table, then the caller's stack buffer, then (for oversized
 // series) a fresh slice. Shared by ChargeLost and ConstantLoadSigma; the
 // Lifetime solver inherits it through ChargeLost.
+//
+//battsched:hotpath
 func (r Rakhmatov) seriesKs(buf *[seriesStackTerms]float64) []float64 {
 	terms := r.Terms
 	if terms <= 0 {
@@ -109,6 +113,8 @@ func (r Rakhmatov) seriesKs(buf *[seriesStackTerms]float64) []float64 {
 // ChargeLost implements Model. It returns sigma(at) for the profile; times
 // beyond the profile end are rest, so sigma relaxes back toward the
 // delivered charge. It returns 0 for at <= 0.
+//
+//battsched:hotpath
 func (r Rakhmatov) ChargeLost(p Profile, at float64) float64 {
 	if at <= 0 {
 		return 0
@@ -141,6 +147,8 @@ func (r Rakhmatov) ChargeLost(p Profile, at float64) float64 {
 // ks grows with m², so once exp(-k·after) underflows to zero so has
 // exp(-k·since) (since >= after) and every later term is exactly zero —
 // the early break skips only additions of +0.0, leaving sigma bit-exact.
+//
+//battsched:hotpath
 func seriesTail(ks []float64, after, since float64) float64 {
 	var s float64
 	for _, k := range ks {
@@ -156,6 +164,8 @@ func seriesTail(ks []float64, after, since float64) float64 {
 // Unavailable returns the charge bound in the battery interior at time at:
 // sigma(at) minus the delivered charge. It is non-negative, grows during
 // discharge and decays during rest (the recovery effect).
+//
+//battsched:hotpath
 func (r Rakhmatov) Unavailable(p Profile, at float64) float64 {
 	return r.ChargeLost(p, at) - p.DeliveredCharge(at)
 }

@@ -21,6 +21,8 @@
 // they get back without corrupting the cache. Per-job errors are cached
 // too — a deterministic failure (infeasible deadline, unknown strategy)
 // costs the engine only once.
+//
+//battlint:deterministic
 package cache
 
 import (

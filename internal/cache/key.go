@@ -55,6 +55,16 @@ const keyVersion = "battsched-cache-v2"
 //
 // Key derivation is the whole cost of a cache hit, so it hashes the
 // graph directly (no Spec marshaling) through a reused buffer.
+//
+// The battlint:canonical exclusions below are the result-neutral fields
+// listed above, plus Options.Beta, .SeriesTerms, .Battery and .Model,
+// which ARE hashed — folded into the canonical battery-spec bytes by
+// Options.BatterySpec (a core method, outside the analyzer's
+// same-package view) and k.spec.
+//
+//battlint:canonical engine.Job -Name -Timeout
+//battlint:canonical core.Options -Beta -SeriesTerms -Battery -Model -RecordTrace -Parallel
+//battlint:canonical core.MultiStartOptions -Workers
 func Key(job engine.Job) (key string, ok bool) {
 	if job.Graph == nil {
 		return "", false

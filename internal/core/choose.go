@@ -26,6 +26,8 @@ import (
 // early with whatever it has evaluated so far. Callers that care must
 // check ctx themselves afterwards — a partially swept result is only
 // used by RunContext when the context is still live.
+//
+//battsched:hotpath
 func (s *Scheduler) evaluateWindows(ctx context.Context, L []int, scr *runScratch) (bestAssign []int, bestCost float64, windows []WindowTrace) {
 	start := s.m - 2
 	if start < 0 {
@@ -74,6 +76,8 @@ func (s *Scheduler) evaluateWindows(ctx context.Context, L []int, scr *runScratc
 }
 
 // columnTime returns CT(j) for 0-based column j.
+//
+//battsched:hotpath
 func (s *Scheduler) columnTime(j int) float64 {
 	var t float64
 	for i := 0; i < s.n; i++ {
@@ -83,6 +87,8 @@ func (s *Scheduler) columnTime(j int) float64 {
 }
 
 // totalTime returns the completion time of an assignment.
+//
+//battsched:hotpath
 func (s *Scheduler) totalTime(assign []int) float64 {
 	var t float64
 	for i := 0; i < s.n; i++ {
@@ -142,6 +148,8 @@ func (s *Scheduler) totalTime(assign []int) float64 {
 // it bail out between sequence positions with (nil, false) — each
 // position is the finest cancellation grain that stays off the
 // arithmetic hot path.
+//
+//battsched:hotpath
 func (s *Scheduler) chooseDesignPoints(ctx context.Context, L []int, ws int, scr *runScratch) ([]int, bool) {
 	n, m := s.n, s.m
 	assign := scr.assign
@@ -201,6 +209,8 @@ func (s *Scheduler) chooseDesignPoints(ctx context.Context, L []int, ws int, scr
 // is empty (each position sets its own free count), incBase is the
 // current-increase count of assign, and the curPos/enPos/teNow value
 // mirrors describe assign.
+//
+//battsched:hotpath
 func (s *Scheduler) primeScratch(L, assign []int, scr *runScratch) {
 	m := s.m
 	copy(scr.tmp, assign)
@@ -220,6 +230,8 @@ func (s *Scheduler) primeScratch(L, assign []int, scr *runScratch) {
 
 // incOf returns the number of adjacent sequence pairs at which current
 // strictly increases (the CIF numerator) for order L under assign.
+//
+//battsched:hotpath
 func (s *Scheduler) incOf(L, assign []int) int {
 	inc := 0
 	prev := 0.0
@@ -241,6 +253,8 @@ func (s *Scheduler) incOf(L, assign []int) int {
 // current-increase count after the move (incAfter[k+1]; incAfter[0] is the
 // unescalated base). The state mirrors are walked along, ending at the
 // fully escalated state with walkK == nMoves.
+//
+//battsched:hotpath
 func (s *Scheduler) buildTrajectory(posOf []int, ws int, scr *runScratch) {
 	m := s.m
 	k := 0
@@ -265,6 +279,8 @@ func (s *Scheduler) buildTrajectory(posOf []int, ws int, scr *runScratch) {
 // forward again before the next buildTrajectory. Mirror entries are
 // overwritten from the precomputed flats (never incremented), so nothing
 // drifts across candidates.
+//
+//battsched:hotpath
 func (s *Scheduler) rewindTo(k int, posOf []int, scr *runScratch) {
 	m := s.m
 	tmp := scr.tmp
@@ -286,6 +302,8 @@ func (s *Scheduler) rewindTo(k int, posOf []int, scr *runScratch) {
 // resulting change to the current-increase count. Only the two sequence
 // pairs adjacent to pq can change, so the update is O(1). When trackCnt is
 // set, q is a free task and its colCnt bucket moves too.
+//
+//battsched:hotpath
 func (s *Scheduler) setTmpCol(pq, q, c int, scr *runScratch, trackCnt bool) int {
 	base := q*s.m + c
 	oldC := scr.curPos[pq]
@@ -323,6 +341,8 @@ func (s *Scheduler) setTmpCol(pq, q, c int, scr *runScratch, trackCnt bool) int 
 // assignment, the tmp and value mirrors, and the increase-count base
 // absorb the change in O(1). ti leaves the free set as pos decreases, so
 // colCnt is untouched (each position re-seeds its own free count).
+//
+//battsched:hotpath
 func (s *Scheduler) fixTask(pos, ti, j int, scr *runScratch) {
 	scr.incBase += s.setTmpCol(pos, ti, j, scr, false)
 	scr.teNow[ti] = s.df[ti*s.m+j]
@@ -333,6 +353,8 @@ func (s *Scheduler) fixTask(pos, ti, j int, scr *runScratch) {
 // (at sequence position pos) with design point j, given the fixed time sum
 // tsum and the position's trajectory in scr. A +Inf result marks a
 // deadline-violating choice.
+//
+//battsched:hotpath
 func (s *Scheduler) suitability(posOf []int, tsum float64, pos, ti, j, ws int, scr *runScratch) float64 {
 	d := s.deadline
 	sr := (d - (tsum + s.df[ti*s.m+j])) / d
@@ -381,6 +403,8 @@ func (s *Scheduler) suitability(posOf []int, tsum float64, pos, ti, j, ws int, s
 // the same reasons, bit for bit. Freeze bookkeeping needs no replay: a
 // frozen task never changes the state the factors read, only the probe
 // order, which the trajectory already encodes.
+//
+//battsched:hotpath
 func (s *Scheduler) calculateDPF(posOf []int, pos, ti, j, ws int, scr *runScratch) (enr, cif, dpf float64) {
 	m := s.m
 	d := s.deadline
@@ -454,6 +478,8 @@ func (s *Scheduler) calculateDPF(posOf []int, pos, ti, j, ws int, scr *runScratc
 // tagIncDelta returns the change to the current-increase count from
 // tagging task ti (sequence position pos) at column j, relative to its
 // base column m-1, against the mirrors' current (untagged) state.
+//
+//battsched:hotpath
 func (s *Scheduler) tagIncDelta(pos, ti, j int, scr *runScratch) int {
 	m := s.m
 	oldC := s.cf[ti*m+m-1]
@@ -484,6 +510,8 @@ func (s *Scheduler) tagIncDelta(pos, ti, j int, scr *runScratch) int {
 // (task-index order, matching totalTime) and enPos (sequence order,
 // matching refFactorsOf) mirrors through it, so both sums are bit-exact
 // replicas of the reference's.
+//
+//battsched:hotpath
 func sumFloats(xs []float64) float64 {
 	var t float64
 	for _, x := range xs {
@@ -495,6 +523,8 @@ func sumFloats(xs []float64) float64 {
 // factorsFrom finishes the paper's CalculateFactors from the escalated
 // state's charge-energy sum and the incrementally maintained
 // current-increase count.
+//
+//battsched:hotpath
 func (s *Scheduler) factorsFrom(en float64, inc int) (enr, cif float64) {
 	if s.n > 1 {
 		cif = float64(inc) / float64(s.n-1)

@@ -10,6 +10,8 @@
 // as soon as an iteration fails to improve on the previous one, so a valid
 // schedule is available after every iteration — the property the paper
 // emphasizes for on-device use.
+//
+//battlint:deterministic
 package core
 
 import (

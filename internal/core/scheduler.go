@@ -302,6 +302,8 @@ func (s *Scheduler) initialSequence() []int {
 
 // initialSequenceInto is initialSequence writing into the scratch-backed
 // buffer out.
+//
+//battsched:hotpath
 func (s *Scheduler) initialSequenceInto(scr *runScratch, out []int) []int {
 	w := s.avgCur
 	if s.opt.InitialOrder == WeightAvgEnergy {
@@ -318,6 +320,8 @@ func (s *Scheduler) InitialSequence() []int { return s.idsOf(s.initialSequence()
 // assigns every task the sum of the assigned-design-point currents over
 // the subgraph rooted at it (read off the precomputed reachability
 // bitsets), then list-schedules by decreasing weight into out.
+//
+//battsched:hotpath
 func (s *Scheduler) weightedSequenceInto(assign []int, scr *runScratch, out []int) []int {
 	w := scr.weights
 	for i := 0; i < s.n; i++ {
@@ -360,6 +364,8 @@ func (s *Scheduler) listSchedule(weight []float64) []int {
 // to the smaller task ID") and that ordering is total over distinct tasks,
 // so the emitted order is identical. indeg, h and out are caller-supplied
 // buffers (h and out are appended to from length zero).
+//
+//battsched:hotpath
 func (s *Scheduler) listScheduleCore(weight []float64, indeg, h, out []int) []int {
 	for i := 0; i < s.n; i++ {
 		indeg[i] = len(s.g.ParentIndices(i))
@@ -387,6 +393,8 @@ func (s *Scheduler) listScheduleCore(weight []float64, indeg, h, out []int) []in
 // larger weight first, ties to the smaller task ID. IDs are unique, so
 // the order is total and heap-internal layout can never leak into the
 // emitted sequence.
+//
+//battsched:hotpath
 func (s *Scheduler) heapBefore(weight []float64, a, b int) bool {
 	if weight[a] != weight[b] {
 		return weight[a] > weight[b]
@@ -395,6 +403,8 @@ func (s *Scheduler) heapBefore(weight []float64, a, b int) bool {
 }
 
 // heapPush adds x to the ready max-heap.
+//
+//battsched:hotpath
 func (s *Scheduler) heapPush(h []int, weight []float64, x int) []int {
 	h = append(h, x)
 	i := len(h) - 1
@@ -410,6 +420,8 @@ func (s *Scheduler) heapPush(h []int, weight []float64, x int) []int {
 }
 
 // heapPop removes and returns the highest-priority ready task.
+//
+//battsched:hotpath
 func (s *Scheduler) heapPop(h []int, weight []float64) (int, []int) {
 	top := h[0]
 	last := len(h) - 1
@@ -437,6 +449,8 @@ func (s *Scheduler) heapPop(h []int, weight []float64) (int, []int) {
 // profileInto appends the discharge profile of executing the tasks in
 // order L (indices) with the given assignment onto p (one constant-current
 // interval per task, the same construction as sched.Schedule.Profile).
+//
+//battsched:hotpath
 func (s *Scheduler) profileInto(L, assign []int, p battery.Profile) battery.Profile {
 	for _, ti := range L {
 		p = append(p, battery.Interval{Current: s.cur[ti][assign[ti]], Duration: s.d[ti][assign[ti]]})
@@ -447,6 +461,8 @@ func (s *Scheduler) profileInto(L, assign []int, p battery.Profile) battery.Prof
 // costOfInto evaluates the battery cost (sigma at completion) of executing
 // the tasks in order L (indices) with the given assignment (indexed by
 // task), building the profile into the caller's buffer p.
+//
+//battsched:hotpath
 func (s *Scheduler) costOfInto(L, assign []int, p battery.Profile) float64 {
 	p = s.profileInto(L, assign, p)
 	return s.model.ChargeLost(p, p.TotalTime())
@@ -503,6 +519,8 @@ func (s *Scheduler) idsOf(L []int) []int {
 }
 
 // idsInto appends the task IDs of the dense indices in L onto out.
+//
+//battsched:hotpath
 func (s *Scheduler) idsInto(L, out []int) []int {
 	for _, i := range L {
 		out = append(out, s.g.IDAt(i))

@@ -14,6 +14,8 @@
 // share nothing mutable: every run in core carries its own scratch
 // arena (see internal/core's runScratch), so per-job results are
 // bit-identical for every pool size.
+//
+//battlint:deterministic
 package engine
 
 import (

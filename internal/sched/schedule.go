@@ -4,6 +4,8 @@
 // deadline, assignment bounds), conversion to a battery discharge profile,
 // and the summary statistics the paper reports (duration, energy, CIF,
 // slack ratio).
+//
+//battlint:deterministic
 package sched
 
 import (

@@ -70,12 +70,16 @@ func (g *Graph) Analyze(ordersCap int64) Analysis {
 			}
 		}
 	}
-	widths := map[int]int{}
 	for i := 0; i < n; i++ {
-		widths[level[i]]++
 		if level[i]+1 > a.Depth {
 			a.Depth = level[i] + 1
 		}
+	}
+	// Levels are dense (a node at level k has a predecessor at level
+	// k-1), so widths index directly by level.
+	widths := make([]int, a.Depth)
+	for i := 0; i < n; i++ {
+		widths[level[i]]++
 	}
 	for _, w := range widths {
 		if w > a.MaxWidth {

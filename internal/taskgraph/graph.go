@@ -8,6 +8,8 @@
 // bitstreams on an FPGA). Edges express data/control dependencies; tasks
 // execute sequentially on a single processing element, so a schedule is a
 // topological order of the graph plus one design point per task.
+//
+//battlint:deterministic
 package taskgraph
 
 import (

@@ -16,6 +16,8 @@
 // currents, …) are caught at decode time — Job.Validate checks the job
 // fields, the taskgraph builder checks inline graph content — with an
 // error naming the offending field, before any scheduling work starts.
+//
+//battlint:deterministic
 package wire
 
 import (
@@ -235,6 +237,11 @@ func (j Job) label() string {
 }
 
 // ToEngine validates the job and resolves its graph into an engine job.
+// It is the conversion boundary the wire schema exists for, so battlint
+// checks that every exported wire.Job field is read here: a field this
+// function drops is a knob the API silently ignores.
+//
+//battlint:canonical Job
 func (j Job) ToEngine() (engine.Job, error) {
 	job := engine.Job{
 		Name:     j.Name,
