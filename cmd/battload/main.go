@@ -1,0 +1,221 @@
+// Command battload load-tests a battschedd's async job API and proves
+// (or disproves) its serving SLOs: a fleet of virtual clients submits
+// scheduling jobs, consumes results by polling or streaming, and the
+// run reports latency histograms (p50/p95/p99 for submit, poll and
+// end-to-end), throughput, and the contract verification that makes
+// "handles N concurrent clients" a tested claim — zero lost jobs, zero
+// double completions, with admission-control rejections accounted
+// separately from failures.
+//
+// Usage:
+//
+//	battload [-addr http://127.0.0.1:8347 | -self] [-mode poll|stream]
+//	         [-n 1000] [-c 64 | -sweep 8,64,512] [-rate 0]
+//	         [-fixture g3] [-deadline-min 100] [-deadline-max 230]
+//	         [-priorities 0:7,5:2,9:1] [-dup-every 0] [-ttl 0] [-timeout 0]
+//	         [-slo-e2e-p99 0] [-slo-submit-p99 0] [-slo-poll-p99 0]
+//	         [-slo-error-rate -1] [-assert] [-o report.json] [-bench]
+//
+// Examples:
+//
+//	# Saturation curve against a running daemon, snapshot via benchjson:
+//	battload -addr http://127.0.0.1:8347 -sweep 64,256,1024 -n 4000 -bench \
+//	    | go run ./scripts/benchjson -o BENCH_$(date +%F).load.json
+//
+//	# Self-contained SLO smoke (starts an in-process battschedd):
+//	battload -self -n 300 -c 64 -slo-e2e-p99 10s -slo-error-rate 0 -assert
+//
+// The human-readable summary goes to stderr; stdout carries only the
+// -bench lines (go test -bench format, pipeable into scripts/benchjson)
+// so the two never interleave. Exit status: 0 clean, 1 when -assert is
+// set and the SLO was violated or the serving contract broke (lost or
+// double-completed jobs — contract breaks fail even without SLO flags),
+// 2 for unusable flags.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "http://127.0.0.1:8347", "base URL of the battschedd under test")
+		self = flag.Bool("self", false, "start an in-process battschedd and test that (ignores -addr)")
+
+		mode  = flag.String("mode", "poll", "result consumption: poll | stream")
+		n     = flag.Int("n", 1000, "total submissions per stage")
+		c     = flag.Int("c", 64, "concurrent virtual clients")
+		sweep = flag.String("sweep", "", "comma list of concurrency levels for a saturation curve (overrides -c)")
+		rate  = flag.Float64("rate", 0, "open-loop target arrival rate per second (0 = closed loop)")
+
+		fixture  = flag.String("fixture", "g3", "built-in graph every job schedules")
+		dmin     = flag.Float64("deadline-min", 100, "deadline spread lower bound (minutes)")
+		dmax     = flag.Float64("deadline-max", 230, "deadline spread upper bound (minutes)")
+		priomix  = flag.String("priorities", "", "weighted priority mix, e.g. 0:7,5:2,9:1 (default all 0)")
+		dupEvery = flag.Int("dup-every", 0, "every k-th submission duplicates its predecessor (exercises coalescing; 0 = never)")
+		ttl      = flag.Duration("ttl", 0, "per-job ttl_ms (0 = server default)")
+		timeout  = flag.Duration("timeout", 0, "per-job timeout_ms (0 = unbounded)")
+
+		pollInterval = flag.Duration("poll-interval", 2*time.Millisecond, "first poll delay (backs off 1.5x to 25x this)")
+		noRetry      = flag.Bool("no-retry", false, "treat 429/503 as final instead of backing off and resubmitting")
+		verify       = flag.Bool("verify", true, "confirm each terminal state with one extra poll (double-completion check)")
+		runTimeout   = flag.Duration("run-timeout", 0, "bound the whole run (0 = until done or signal)")
+
+		sloSubmit  = flag.Duration("slo-submit-p99", 0, "SLO: accepted-submission p99 (0 = unchecked)")
+		sloPoll    = flag.Duration("slo-poll-p99", 0, "SLO: status-poll p99 (0 = unchecked)")
+		sloE2E     = flag.Duration("slo-e2e-p99", 0, "SLO: submit-to-done p99 (0 = unchecked)")
+		sloErrRate = flag.Float64("slo-error-rate", -1, "SLO: max error fraction of attempts (negative = unchecked)")
+		assert     = flag.Bool("assert", false, "exit 1 on SLO violation or contract break")
+
+		out   = flag.String("o", "", "write the full JSON report here")
+		bench = flag.Bool("bench", false, "print go-bench-format lines to stdout (pipe into scripts/benchjson)")
+
+		selfQueue   = flag.Int("self-queue", 0, "with -self: queue capacity (0 = default)")
+		selfWorkers = flag.Int("self-queue-workers", 0, "with -self: queue worker count (0 = default)")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "", 0)
+
+	mix, err := loadgen.ParsePriorityMix(*priomix)
+	if err != nil {
+		logger.Println("battload:", err)
+		os.Exit(2)
+	}
+	levels, err := parseSweep(*sweep, *c)
+	if err != nil {
+		logger.Println("battload:", err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *runTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *runTimeout)
+		defer cancel()
+	}
+
+	base := *addr
+	if *self {
+		srv := server.New(server.Config{
+			MaxQueued:    *selfQueue,
+			QueueWorkers: *selfWorkers,
+		})
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			logger.Fatalln("battload:", err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(l)
+		defer func() {
+			srv.Close()
+			hs.Close()
+		}()
+		base = "http://" + l.Addr().String()
+		logger.Printf("battload: in-process battschedd on %s", base)
+	}
+
+	spec := loadgen.JobSpec{
+		Fixture:     *fixture,
+		DeadlineMin: *dmin,
+		DeadlineMax: *dmax,
+		DupEvery:    *dupEvery,
+		Priorities:  mix,
+		TTLMS:       ttl.Milliseconds(),
+		TimeoutMS:   timeout.Milliseconds(),
+	}
+	cfg := loadgen.Config{
+		BaseURL:        base,
+		Mode:           loadgen.Mode(*mode),
+		Jobs:           *n,
+		Rate:           *rate,
+		PollInterval:   *pollInterval,
+		NoRetry429:     *noRetry,
+		VerifyTerminal: *verify,
+		NewJob:         spec.Job,
+		SLO: &loadgen.SLO{
+			SubmitP99:    *sloSubmit,
+			PollP99:      *sloPoll,
+			E2EP99:       *sloE2E,
+			MaxErrorRate: *sloErrRate,
+		},
+	}
+
+	results, err := loadgen.Sweep(ctx, cfg, levels)
+	if err != nil {
+		logger.Fatalln("battload:", err)
+	}
+
+	failed := false
+	for _, r := range results {
+		logger.Println(summarize(r))
+		if verr := r.Verify(); verr != nil {
+			logger.Println("battload: CONTRACT VIOLATION:", verr)
+			failed = true
+		}
+		for _, v := range r.Violations {
+			logger.Println("battload: SLO VIOLATION:", v)
+			failed = true
+		}
+	}
+	if *out != "" {
+		doc, _ := json.MarshalIndent(map[string]any{"results": results}, "", "  ")
+		if err := os.WriteFile(*out, append(doc, '\n'), 0o644); err != nil {
+			logger.Fatalln("battload:", err)
+		}
+		logger.Printf("battload: wrote %s", *out)
+	}
+	if *bench {
+		if err := loadgen.WriteBench(os.Stdout, results...); err != nil {
+			logger.Fatalln("battload:", err)
+		}
+	}
+	if failed && *assert {
+		os.Exit(1)
+	}
+}
+
+// parseSweep resolves the concurrency levels: the sweep list, or the
+// single -c level.
+func parseSweep(s string, c int) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		if c <= 0 {
+			return nil, fmt.Errorf("-c must be positive, got %d", c)
+		}
+		return []int{c}, nil
+	}
+	var levels []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("-sweep entry %q must be a positive integer", part)
+		}
+		levels = append(levels, v)
+	}
+	return levels, nil
+}
+
+// summarize renders one result as the stderr progress line.
+func summarize(r *loadgen.Result) string {
+	return fmt.Sprintf(
+		"battload: mode=%s c=%d jobs=%d: done=%d (err-results %d) expired=%d aborted=%d lost=%d dup=%d rejected429=%d errors=%d | e2e p50/p95/p99 = %.1f/%.1f/%.1fms | poll p99 %.1fms (%d polls) | %.0f jobs/s in %.1fs",
+		r.Mode, r.Concurrency, r.Jobs, r.Done, r.DoneWithError, r.Expired, r.Aborted,
+		r.Lost, r.DoubleTerminal, r.Rejected, r.Errors,
+		r.E2E.P50MS, r.E2E.P95MS, r.E2E.P99MS, r.Poll.P99MS, r.Polls,
+		r.ThroughputJPS, r.DurationMS/1000)
+}

@@ -7,11 +7,24 @@
 // Usage:
 //
 //	battschedd [-addr :8347] [-workers 0] [-max-inflight 0] [-cache 1024] [-timeout 0] [-battery spec] [-quiet]
+//	           [-queue 0] [-queue-workers 0] [-job-ttl 0] [-job-retention 0]
 //
 //	curl -s localhost:8347/v1/schedule -d '{"fixture":"g3","deadline":230}'
 //	curl -s localhost:8347/v1/batch --data-binary @jobs.ndjson
+//	curl -s localhost:8347/v1/jobs -d '{"fixture":"g3","deadline":230,"priority":5}'
+//	curl -s localhost:8347/v1/jobs/<id>
+//	curl -sN localhost:8347/v1/jobs/<id>/stream
 //	curl -s localhost:8347/v1/fixtures
 //	curl -s localhost:8347/metrics
+//
+// The async endpoints (POST /v1/jobs and friends) queue work behind an
+// admission-controlled priority queue instead of holding the connection
+// open: `-queue` bounds the backlog (excess submissions get 429 +
+// Retry-After), `-queue-workers` bounds concurrently executing jobs,
+// `-job-ttl` default-bounds a job's whole lifetime and `-job-retention`
+// keeps finished jobs pollable. On shutdown the queue drains cleanly:
+// queued jobs abort without running, running ones cancel, and pollers
+// observe the "aborted" terminal state.
 //
 // Endpoints, wire schemas and curl walk-throughs are documented in
 // docs/API.md; request bodies are exactly battbatch's NDJSON job lines,
@@ -60,6 +73,11 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "per-request scheduling time budget, e.g. 30s (0 = unbounded)")
 		batt        = flag.String("battery", "", "default battery spec for jobs without one, e.g. kibam,capacity=40000,c=0.5,rate=0.1")
 		quiet       = flag.Bool("quiet", false, "suppress per-request access logs")
+
+		maxQueued    = flag.Int("queue", 0, "async job queue capacity; full submits get 429 (0 = 4096)")
+		queueWorkers = flag.Int("queue-workers", 0, "concurrently executing async jobs (0 = 2*GOMAXPROCS)")
+		jobTTL       = flag.Duration("job-ttl", 0, "default async job lifetime incl. queue wait, e.g. 5m (0 = unbounded)")
+		jobRetention = flag.Duration("job-retention", 0, "how long finished async jobs stay pollable (0 = 5m)")
 	)
 	flag.Parse()
 
@@ -80,6 +98,10 @@ func main() {
 		CacheEntries:   *cacheSize,
 		RequestTimeout: *timeout,
 		DefaultBattery: defaultBattery,
+		MaxQueued:      *maxQueued,
+		QueueWorkers:   *queueWorkers,
+		JobDefaultTTL:  *jobTTL,
+		JobRetention:   *jobRetention,
 	}
 	if *cacheSize == 0 {
 		cfg.CacheEntries = -1

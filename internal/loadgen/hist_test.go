@@ -1,0 +1,100 @@
+package loadgen
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketRoundTrip: every value lands in a bucket whose upper edge
+// is ≥ the value and within the advertised ~3.2% relative resolution.
+func TestBucketRoundTrip(t *testing.T) {
+	values := []int64{0, 1, 5, 31, 32, 33, 63, 64, 100, 1000, 12345,
+		1 << 20, (1 << 20) + 7, 1e9, 123456789012, 1<<62 + 12345}
+	for _, v := range values {
+		b := bucketOf(v)
+		if b < 0 || b >= numBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range [0,%d)", v, b, numBuckets)
+		}
+		hi := bucketHigh(b)
+		if hi < v {
+			t.Fatalf("bucketHigh(bucketOf(%d)) = %d < value", v, hi)
+		}
+		if slack := hi - v; slack > v/subCount+1 {
+			t.Fatalf("bucket for %d overshoots by %d (> %d)", v, slack, v/subCount+1)
+		}
+	}
+	// Monotonic: larger values never map to earlier buckets.
+	prev := -1
+	for v := int64(0); v < 5000; v++ {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucketOf(%d) = %d < bucketOf(%d) = %d", v, b, v-1, prev)
+		}
+		prev = b
+	}
+}
+
+// TestHistQuantiles: known uniform samples produce quantiles within the
+// bucket resolution, and mean/max are exact.
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Max(); got != 1000*time.Microsecond {
+		t.Fatalf("max = %v", got)
+	}
+	if got := h.Mean(); got != 500500*time.Nanosecond {
+		t.Fatalf("mean = %v, want 500.5µs", got)
+	}
+	check := func(q float64, want time.Duration) {
+		got := h.Quantile(q)
+		if got < want || got > want+want/subCount+time.Microsecond {
+			t.Fatalf("q%.2f = %v, want within resolution above %v", q, got, want)
+		}
+	}
+	check(0.50, 500*time.Microsecond)
+	check(0.95, 950*time.Microsecond)
+	check(0.99, 990*time.Microsecond)
+	if got := h.Quantile(1); got != 1000*time.Microsecond {
+		t.Fatalf("q1.0 = %v, want exact max", got)
+	}
+}
+
+// TestHistEmptyAndNegative: the zero histogram reports zeros; negative
+// samples clamp instead of corrupting state.
+func TestHistEmptyAndNegative(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+	h.Observe(-time.Second)
+	if h.Count() != 1 || h.Quantile(0.5) != 0 {
+		t.Fatalf("negative sample mishandled: count=%d q50=%v", h.Count(), h.Quantile(0.5))
+	}
+}
+
+// TestHistConcurrent: parallel observers lose nothing (the whole point
+// of the atomic buckets).
+func TestHistConcurrent(t *testing.T) {
+	var h Hist
+	const workers, each = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(time.Duration(w*each+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*each {
+		t.Fatalf("count = %d, want %d", got, workers*each)
+	}
+}

@@ -1,0 +1,114 @@
+// JobSpec: the standard deterministic submission generator. Load runs
+// must be reproducible (the repo's determinism culture extends to its
+// test harnesses), so nothing here draws randomness — deadlines spread
+// over the configured range by a golden-ratio low-discrepancy walk,
+// priorities follow the weighted mix cyclically, and duplicates recur
+// on a fixed stride. Distinct deadlines mean distinct content addresses
+// (real work per submission); duplicate submissions exercise the
+// queue's coalescing on purpose.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// PriorityWeight is one entry of a priority mix.
+type PriorityWeight struct {
+	Priority int `json:"priority"`
+	Weight   int `json:"weight"`
+}
+
+// ParsePriorityMix parses battload's "-priorities" syntax: a comma list
+// of priority:weight pairs, e.g. "0:7,5:2,9:1". Empty means everything
+// at priority 0.
+func ParsePriorityMix(s string) ([]PriorityWeight, error) {
+	if strings.TrimSpace(s) == "" {
+		return []PriorityWeight{{Priority: 0, Weight: 1}}, nil
+	}
+	var mix []PriorityWeight
+	for _, part := range strings.Split(s, ",") {
+		p, w, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("loadgen: priority mix entry %q is not priority:weight", part)
+		}
+		prio, err := strconv.Atoi(p)
+		if err != nil || prio < 0 || prio > wire.MaxPriority {
+			return nil, fmt.Errorf("loadgen: priority %q must be an integer in [0, %d]", p, wire.MaxPriority)
+		}
+		weight, err := strconv.Atoi(w)
+		if err != nil || weight <= 0 {
+			return nil, fmt.Errorf("loadgen: weight %q must be a positive integer", w)
+		}
+		mix = append(mix, PriorityWeight{Priority: prio, Weight: weight})
+	}
+	return mix, nil
+}
+
+// JobSpec builds the i-th submission deterministically.
+type JobSpec struct {
+	// Fixture names the built-in graph every job schedules (distinct
+	// deadlines keep the work distinct).
+	Fixture string
+	// DeadlineMin/Max bound the deadline spread. Equal values pin every
+	// job to one deadline (maximal coalescing).
+	DeadlineMin, DeadlineMax float64
+	// DupEvery, when ≥ 2, makes every DupEvery-th submission repeat its
+	// predecessor's deadline — same content address, so it coalesces
+	// server-side (possibly at a different priority, exercising the
+	// raise-on-coalesce path). 0 or 1 disables.
+	DupEvery int
+	// Priorities is the weighted mix, applied cyclically; empty means
+	// all priority 0.
+	Priorities []PriorityWeight
+	// TTLMS / TimeoutMS ride each job unchanged (0 omits the field).
+	TTLMS, TimeoutMS int64
+}
+
+// golden is the fractional golden ratio: successive multiples mod 1 are
+// the lowest-discrepancy sequence there is, so deadlines cover the
+// range evenly at any submission count without a PRNG.
+const golden = 0.6180339887498949
+
+// Job builds submission i.
+func (js JobSpec) Job(i int) wire.Job {
+	di := i
+	if js.DupEvery >= 2 && i%js.DupEvery == js.DupEvery-1 {
+		di = i - 1 // repeat the predecessor's content
+	}
+	frac := math.Mod(float64(di)*golden, 1)
+	deadline := js.DeadlineMin + (js.DeadlineMax-js.DeadlineMin)*frac
+	// Quantize so a deadline's identity survives any float formatting
+	// round trip exactly (canonical encoding hashes the bits).
+	deadline = math.Round(deadline*1e6) / 1e6
+	return wire.Job{
+		Fixture:   js.Fixture,
+		Deadline:  deadline,
+		Priority:  js.priorityFor(i),
+		TTLMS:     js.TTLMS,
+		TimeoutMS: js.TimeoutMS,
+	}
+}
+
+// priorityFor walks the weighted mix cyclically.
+func (js JobSpec) priorityFor(i int) int {
+	total := 0
+	for _, pw := range js.Priorities {
+		total += pw.Weight
+	}
+	if total <= 0 {
+		return 0
+	}
+	slot := i % total
+	for _, pw := range js.Priorities {
+		if slot < pw.Weight {
+			return pw.Priority
+		}
+		slot -= pw.Weight
+	}
+	return 0
+}

@@ -37,6 +37,7 @@ import (
 	"log"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +45,7 @@ import (
 	"repro/internal/battery"
 	"repro/internal/cache"
 	"repro/internal/engine"
+	"repro/internal/queue"
 	"repro/internal/taskgraph"
 	"repro/internal/wire"
 )
@@ -75,6 +77,24 @@ type Config struct {
 	// disconnect triggers. Per-job budgets ride the wire instead
 	// (wire.Job.TimeoutMS).
 	RequestTimeout time.Duration
+	// MaxQueued bounds the async job queue's waiting line; a POST
+	// /v1/jobs beyond it is rejected with 429 + Retry-After. 0 means
+	// queue.DefaultMaxQueued.
+	MaxQueued int
+	// QueueWorkers bounds concurrently executing async jobs (each still
+	// takes compute through the shared gate, so this mostly overlaps
+	// queue bookkeeping and cache hits with computation). 0 means
+	// 2×GOMAXPROCS(0).
+	QueueWorkers int
+	// JobDefaultTTL bounds async jobs that submit no ttl_ms of their
+	// own (queue wait + run, from submission); 0 means unbounded.
+	JobDefaultTTL time.Duration
+	// JobRetention is how long a finished async job stays pollable
+	// before it is pruned; 0 means queue.DefaultRetention.
+	JobRetention time.Duration
+	// RetryAfter is the Retry-After hint (in seconds) sent with 429
+	// queue-full and 503 capacity rejections; 0 means 1 second.
+	RetryAfter int
 	// DefaultBattery, when non-nil, is the battery spec applied to jobs
 	// that select no battery of their own (neither a "battery" object
 	// nor a "beta" shorthand) — cmd/battschedd's -battery flag. It must
@@ -95,6 +115,7 @@ type Server struct {
 	cfg       Config
 	cache     *cache.Cache // nil when caching is disabled
 	engine    cache.Engine
+	jobs      *queue.Queue
 	sem       chan struct{}
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -110,11 +131,17 @@ type metrics struct {
 	fixtures atomic.Uint64 // GET /v1/fixtures requests
 	health   atomic.Uint64 // GET /healthz requests
 	metrics  atomic.Uint64 // GET /metrics requests
+	jobsAPI  atomic.Uint64 // /v1/jobs* async-API requests, all verbs
 	errors   atomic.Uint64 // responses with status >= 400
 	rejected atomic.Uint64 // 503s from the in-flight limiter
-	jobs     atomic.Uint64 // scheduling jobs executed or served from cache
-	canceled atomic.Uint64 // jobs cut short: disconnect, shutdown or timeout
-	inFlight atomic.Int64  // requests currently holding an in-flight slot
+	// rejectedQueue counts 429s (and per-line rejections) from the
+	// async queue's admission control — deliberately distinct from
+	// rejected: a full queue is backpressure, a drained/canceled slot
+	// wait is a lifecycle event.
+	rejectedQueue atomic.Uint64
+	jobs          atomic.Uint64 // scheduling jobs executed or served from cache
+	canceled      atomic.Uint64 // jobs cut short: disconnect, shutdown or timeout
+	inFlight      atomic.Int64  // requests currently holding an in-flight slot
 	// modelKinds counts served jobs per battery-model kind (the
 	// /metrics "model_kinds" object), indexed parallel to specKinds
 	// and sized from it in New, so a future kind cannot overflow it.
@@ -184,6 +211,12 @@ func New(cfg Config) *Server {
 		Workers: cfg.Workers,
 		Gate:    make(chan struct{}, workers),
 	}
+	s.jobs = queue.New(queue.Config{
+		MaxQueued:  cfg.MaxQueued,
+		Workers:    cfg.QueueWorkers,
+		DefaultTTL: cfg.JobDefaultTTL,
+		Retention:  cfg.JobRetention,
+	})
 	return s
 }
 
@@ -191,10 +224,15 @@ func New(cfg Config) *Server {
 // slot get an immediate 503 instead of blocking graceful shutdown until
 // their clients give up, and in-flight scheduling work is canceled —
 // each running request returns promptly, its unfinished jobs marked
-// with the "canceled" code (its finished ones keep their results). Safe
-// to call more than once.
+// with the "canceled" code (its finished ones keep their results). The
+// async queue drains too: queued jobs abort without running, running
+// ones are canceled, and pollers/streamers observe the "aborted"
+// terminal state. Safe to call more than once.
 func (s *Server) Close() {
-	s.closeOnce.Do(func() { close(s.closed) })
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.jobs.Close()
+	})
 }
 
 // requestContext derives the context scheduling work runs under: the
@@ -242,6 +280,12 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("POST /v1/jobs/batch", s.handleJobsBatch)
+	mux.HandleFunc("POST /v1/jobs/stream", s.handleJobsBatchStream)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobAbort)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
 	mux.HandleFunc("GET /v1/fixtures", s.handleFixtures)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -293,7 +337,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 	s.applyDefaultBattery(&ejob)
 	if !s.acquire(r) {
-		s.writeError(w, http.StatusServiceUnavailable, errors.New("server: shutting down or request cancelled while waiting for capacity"))
+		s.writeRetryError(w, http.StatusServiceUnavailable, errors.New("server: shutting down or request cancelled while waiting for capacity"))
 		return
 	}
 	defer s.release()
@@ -348,7 +392,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if !s.acquire(r) {
-		s.writeError(w, http.StatusServiceUnavailable, errors.New("server: shutting down or request cancelled while waiting for capacity"))
+		s.writeRetryError(w, http.StatusServiceUnavailable, errors.New("server: shutting down or request cancelled while waiting for capacity"))
 		return
 	}
 	defer s.release()
@@ -420,8 +464,17 @@ type MetricsSnapshot struct {
 	Requests      map[string]uint64 `json:"requests"`
 	ErrorCount    uint64            `json:"error_responses"`
 	Rejected      uint64            `json:"rejected"`
-	JobsTotal     uint64            `json:"jobs_total"`
-	Canceled      uint64            `json:"canceled"`
+	// RejectedQueue counts async submissions refused by the queue's
+	// admission control (429s and per-line batch rejections) — distinct
+	// from Rejected, which counts sync requests that lost their wait
+	// for an in-flight slot.
+	RejectedQueue uint64 `json:"rejected_queue"`
+	JobsTotal     uint64 `json:"jobs_total"`
+	Canceled      uint64 `json:"canceled"`
+	// JobsAsync is the async queue's per-state census: queued/running
+	// gauges plus cumulative submitted/coalesced/rejected and the
+	// done/expired/aborted terminal counters.
+	JobsAsync queue.Stats `json:"jobs_async"`
 	// ModelKinds counts served jobs per battery-model kind (rakhmatov,
 	// ideal, peukert, kibam, calibrated; "opaque" for deprecated
 	// Options.Model jobs from embedding callers). Kinds never served
@@ -439,16 +492,19 @@ func (s *Server) Metrics() MetricsSnapshot {
 		Requests: map[string]uint64{
 			"schedule": s.metrics.schedule.Load(),
 			"batch":    s.metrics.batch.Load(),
+			"jobs":     s.metrics.jobsAPI.Load(),
 			"fixtures": s.metrics.fixtures.Load(),
 			"healthz":  s.metrics.health.Load(),
 			"metrics":  s.metrics.metrics.Load(),
 		},
-		ErrorCount:  s.metrics.errors.Load(),
-		Rejected:    s.metrics.rejected.Load(),
-		JobsTotal:   s.metrics.jobs.Load(),
-		Canceled:    s.metrics.canceled.Load(),
-		InFlight:    s.metrics.inFlight.Load(),
-		MaxInFlight: s.cfg.MaxInFlight,
+		ErrorCount:    s.metrics.errors.Load(),
+		Rejected:      s.metrics.rejected.Load(),
+		RejectedQueue: s.metrics.rejectedQueue.Load(),
+		JobsTotal:     s.metrics.jobs.Load(),
+		Canceled:      s.metrics.canceled.Load(),
+		JobsAsync:     s.jobs.Stats(),
+		InFlight:      s.metrics.inFlight.Load(),
+		MaxInFlight:   s.cfg.MaxInFlight,
 	}
 	kinds := map[string]uint64{}
 	for i, kind := range specKinds {
@@ -501,6 +557,23 @@ func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
+// retryAfterSeconds resolves the Retry-After hint.
+func (s *Server) retryAfterSeconds() int {
+	if s.cfg.RetryAfter > 0 {
+		return s.cfg.RetryAfter
+	}
+	return 1
+}
+
+// writeRetryError is writeError plus a Retry-After header — the shape
+// of every transient rejection (429 queue-full, 503 capacity), so
+// well-behaved clients know these are back-off-and-retry conditions,
+// not failures.
+func (s *Server) writeRetryError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	s.writeError(w, status, err)
+}
+
 // statusWriter captures the status code and byte count for access logs.
 type statusWriter struct {
 	http.ResponseWriter
@@ -518,6 +591,11 @@ func (sw *statusWriter) Write(p []byte) (int, error) {
 	sw.bytes += n
 	return n, err
 }
+
+// Unwrap exposes the underlying writer so http.ResponseController can
+// reach Flush through the access-log wrapper — without it the stream
+// endpoints would silently stop streaming whenever access logs are on.
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
 
 // accessLog wraps next with one structured (JSON) log line per request.
 func (s *Server) accessLog(next http.Handler) http.Handler {

@@ -52,6 +52,20 @@ func FuzzDecodeJobs(f *testing.F) {
 	f.Add([]byte(`{"fixture":"g3","deadline":230,"battery":{"kind":"ideal","beta":0.3}}`))
 	f.Add([]byte(`{"fixture":"g3","deadline":230,"beta":0.3,"battery":{"kind":"ideal"}}`))
 	f.Add([]byte(`{"fixture":"g3","deadline":230,"battery":{"kind":"calibrated","observations":[{"current":100,"lifetime":478}]}}`))
+	// Async queue fields: valid priority/ttl_ms combinations, both
+	// bounds, and the rejection shapes (negative, over-limit,
+	// overflow-bait values the int64→Duration conversion must never
+	// see).
+	f.Add([]byte(`{"fixture":"g3","deadline":230,"priority":9,"ttl_ms":5000}` + "\n" +
+		`{"fixture":"g2","deadline":75,"priority":1}` + "\n" +
+		`{"fixture":"g3","deadline":230,"ttl_ms":86400000}`))
+	f.Add([]byte(`{"fixture":"g3","deadline":230,"priority":-1}` + "\n" +
+		`{"fixture":"g3","deadline":230,"priority":10}` + "\n" +
+		`{"fixture":"g3","deadline":230,"priority":2147483647}`))
+	f.Add([]byte(`{"fixture":"g3","deadline":230,"ttl_ms":-5}` + "\n" +
+		`{"fixture":"g3","deadline":230,"ttl_ms":86400001}` + "\n" +
+		`{"fixture":"g3","deadline":230,"ttl_ms":9223372036854775807}`))
+	f.Add([]byte(`{"fixture":"g3","deadline":230,"priority":3,"ttl_ms":1000,"timeout_ms":500,"strategy":"multistart","restarts":2}`))
 	// An inline-graph job line assembled from the shared fixture file.
 	if spec, err := os.ReadFile(filepath.Join("..", "..", "testdata", "g2.json")); err == nil {
 		var compact bytes.Buffer

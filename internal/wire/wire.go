@@ -74,6 +74,21 @@ type Job struct {
 	// "canceled" result code; jobs that finish in time are unaffected,
 	// so the field never changes a completed result's bytes.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Priority orders the job in the async queue (POST /v1/jobs and the
+	// batch/stream variants): 0–9, higher runs earlier, FIFO within a
+	// level. The sync endpoints accept and ignore it — there is no queue
+	// to order. Result-neutral, so it is excluded from the cache key and
+	// coalesced submissions of the same job may carry different
+	// priorities (the job runs at the highest of them).
+	Priority int `json:"priority,omitempty"`
+	// TTLMS bounds the job's whole async lifetime in milliseconds —
+	// queue wait plus computation, counted from submission (0 inherits
+	// the server's default TTL, which is unbounded unless configured).
+	// A job that exceeds it lands in the "expired" terminal state. Distinct from TimeoutMS, which starts only when computation
+	// does; sync endpoints ignore TTLMS (their wait is the open
+	// connection itself). Like Priority it is result-neutral and
+	// excluded from the cache key.
+	TTLMS int64 `json:"ttl_ms,omitempty"`
 }
 
 // Result is the JSON schema of one scheduling outcome: one NDJSON line
@@ -122,6 +137,56 @@ type Result struct {
 // because its request was canceled or its timeout_ms budget expired.
 const CodeCanceled = "canceled"
 
+// Async-only result codes: a job result line streamed from the async
+// endpoints can additionally report that the job left the queue without
+// a result. Like CodeCanceled both are retryable — nothing
+// deterministic failed.
+const (
+	// CodeExpired marks a job whose ttl_ms lapsed before completion.
+	CodeExpired = "expired"
+	// CodeAborted marks a job aborted by DELETE /v1/jobs/{id} or a
+	// server drain.
+	CodeAborted = "aborted"
+)
+
+// JobStatus is the JSON schema of one async job's lifecycle snapshot:
+// the body of POST /v1/jobs and GET /v1/jobs/{id} responses (and one
+// line of the POST /v1/jobs/batch response array). The embedded Result
+// appears only in a terminal state and carries exactly the bytes the
+// sync endpoints would have produced for the same job.
+type JobStatus struct {
+	// ID is the job's content-addressed identity — the SHA-256 cache key
+	// of the canonical request, so resubmitting the same job yields the
+	// same ID and coalesces onto the same computation.
+	ID string `json:"id"`
+	// State is the lifecycle state: queued | running | done | expired |
+	// aborted. done/expired/aborted are terminal. Empty only in a batch
+	// response entry for a line that was never admitted (its Error says
+	// why).
+	State string `json:"state,omitempty"`
+	// Priority echoes the effective queue priority (the highest of the
+	// coalesced submissions').
+	Priority int `json:"priority,omitempty"`
+	// Name echoes the submission's job name.
+	Name string `json:"name,omitempty"`
+	// Result is the job outcome, present only in state "done" (it may
+	// still describe a deterministic scheduling failure via its Error
+	// field). Expired/aborted jobs carry no result.
+	Result *Result `json:"result,omitempty"`
+	// Error describes why a job ended without a result ("expired",
+	// "aborted", …); empty for queued/running/done.
+	Error string `json:"error,omitempty"`
+}
+
+// Job lifecycle states, as serialized in JobStatus.State.
+const (
+	StateQueued  = "queued"  // admitted, waiting for a worker
+	StateRunning = "running" // computing (or joined on an identical in-flight computation)
+	StateDone    = "done"    // terminal: result available (success or deterministic failure)
+	StateExpired = "expired" // terminal: ttl_ms elapsed before completion
+	StateAborted = "aborted" // terminal: DELETE /v1/jobs/{id} or server drain
+)
+
 // MaxRestarts and MaxRestartWorkers bound the multistart knobs a wire
 // job may request. Every restart runs the full algorithm and the worker
 // count sizes real allocations, so without a ceiling one small request
@@ -132,12 +197,16 @@ const (
 	MaxRestartWorkers = 256
 )
 
-// MaxTimeoutMS bounds timeout_ms at 24 hours. The conversion to
-// time.Duration multiplies by a million, so an unbounded field would
+// MaxTimeoutMS bounds timeout_ms and ttl_ms at 24 hours. The conversion
+// to time.Duration multiplies by a million, so an unbounded field would
 // let a hostile value overflow int64 — wrapping to a near-zero budget
 // (every job instantly canceled) or a negative one (the budget
 // silently ignored). Far above any useful compute budget.
 const MaxTimeoutMS = 24 * 60 * 60 * 1000
+
+// MaxPriority bounds the async queue priority field; priorities are
+// small ordinal levels, not an unbounded score.
+const MaxPriority = 9
 
 // DecodeJob strictly parses one JSON job: unknown fields and trailing
 // data after the object are rejected, so a concatenated or truncated
@@ -165,6 +234,23 @@ func DecodeJob(data []byte) (Job, error) {
 // without aborting the rest. names echoes each line's "name" field.
 // The only stream-level failure is a scanner error on r.
 func DecodeJobs(r io.Reader) (jobs []engine.Job, names []string, errs []error, err error) {
+	wjobs, jobs, errs, err := DecodeJobsFull(r)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	names = make([]string, len(wjobs))
+	for i := range wjobs {
+		names[i] = wjobs[i].Name
+	}
+	return jobs, names, errs, nil
+}
+
+// DecodeJobsFull is DecodeJobs keeping the decoded wire jobs too, for
+// front ends that need the wire-only fields an engine job does not
+// carry (the async queue's priority and ttl_ms). The slices are
+// parallel; a line that failed to decode holds zero-value placeholders
+// in both job slices and its error in errs.
+func DecodeJobsFull(r io.Reader) (wjobs []Job, jobs []engine.Job, errs []error, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<26) // inline graphs can be large
 	for sc.Scan() {
@@ -177,14 +263,14 @@ func DecodeJobs(r io.Reader) (jobs []engine.Job, names []string, errs []error, e
 		if perr == nil {
 			ejob, perr = job.ToEngine()
 		}
+		wjobs = append(wjobs, job)
 		jobs = append(jobs, ejob)
-		names = append(names, job.Name)
 		errs = append(errs, perr)
 	}
 	if serr := sc.Err(); serr != nil {
 		return nil, nil, nil, fmt.Errorf("reading jobs: %w", serr)
 	}
-	return jobs, names, errs, nil
+	return wjobs, jobs, errs, nil
 }
 
 // finite reports whether v is an ordinary number (not NaN, not ±Inf).
@@ -209,6 +295,10 @@ func (j Job) Validate() error {
 		return fmt.Errorf("job %s: \"restart_workers\" must be in [0, %d], got %d", j.label(), MaxRestartWorkers, j.RestartWorkers)
 	case j.TimeoutMS < 0 || j.TimeoutMS > MaxTimeoutMS:
 		return fmt.Errorf("job %s: \"timeout_ms\" must be in [0, %d], got %d", j.label(), MaxTimeoutMS, j.TimeoutMS)
+	case j.Priority < 0 || j.Priority > MaxPriority:
+		return fmt.Errorf("job %s: \"priority\" must be in [0, %d], got %d", j.label(), MaxPriority, j.Priority)
+	case j.TTLMS < 0 || j.TTLMS > MaxTimeoutMS:
+		return fmt.Errorf("job %s: \"ttl_ms\" must be in [0, %d], got %d", j.label(), MaxTimeoutMS, j.TTLMS)
 	case j.Fixture != "" && j.Graph != nil:
 		return fmt.Errorf("job %s: has both \"fixture\" and \"graph\"", j.label())
 	case j.Fixture == "" && j.Graph == nil:
