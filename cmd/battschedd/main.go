@@ -7,6 +7,7 @@
 // Usage:
 //
 //	battschedd [-addr :8347] [-workers 0] [-max-inflight 0] [-cache 1024] [-timeout 0] [-battery spec] [-quiet]
+//	           [-cache-dir ""] [-cache-disk-max-bytes 1073741824]
 //	           [-queue 0] [-queue-workers 0] [-job-ttl 0] [-job-retention 0]
 //
 //	curl -s localhost:8347/v1/schedule -d '{"fixture":"g3","deadline":230}'
@@ -25,6 +26,15 @@
 // keeps finished jobs pollable. On shutdown the queue drains cleanly:
 // queued jobs abort without running, running ones cancel, and pollers
 // observe the "aborted" terminal state.
+//
+// `-cache-dir` makes the result cache survive restarts: computed
+// results are written through to a crash-safe, content-addressed store
+// of one file per cache key under that directory (bounded by
+// `-cache-disk-max-bytes`, oldest evicted first), and a daemon
+// restarted on the same directory warm starts from it — the same
+// requests answer byte-identical from disk with zero recomputation.
+// Startup logs the warm-start scan (entries, bytes, corrupt files
+// skipped); torn or corrupt entries are discarded, never served.
 //
 // Endpoints, wire schemas and curl walk-throughs are documented in
 // docs/API.md; request bodies are exactly battbatch's NDJSON job lines,
@@ -58,6 +68,7 @@ import (
 
 	"repro/internal/battery"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 // shutdownGrace bounds how long a graceful shutdown waits for in-flight
@@ -70,6 +81,8 @@ func main() {
 		workers     = flag.Int("workers", 0, "concurrent scheduling jobs per request (0 = GOMAXPROCS)")
 		maxInflight = flag.Int("max-inflight", 0, "concurrent scheduling requests (0 = 2*GOMAXPROCS)")
 		cacheSize   = flag.Int("cache", 1024, "result cache entries (0 disables caching)")
+		cacheDir    = flag.String("cache-dir", "", "directory for the disk-backed result store (empty = memory-only cache)")
+		cacheDisk   = flag.Int64("cache-disk-max-bytes", store.DefaultMaxBytes, "disk store byte budget, oldest entries evicted first (<0 = unbounded)")
 		timeout     = flag.Duration("timeout", 0, "per-request scheduling time budget, e.g. 30s (0 = unbounded)")
 		batt        = flag.String("battery", "", "default battery spec for jobs without one, e.g. kibam,capacity=40000,c=0.5,rate=0.1")
 		quiet       = flag.Bool("quiet", false, "suppress per-request access logs")
@@ -105,6 +118,20 @@ func main() {
 	}
 	if *cacheSize == 0 {
 		cfg.CacheEntries = -1
+	}
+	if *cacheDir != "" {
+		if *cacheSize == 0 {
+			// A disk tier under a disabled cache would never be read or
+			// written; refuse the contradiction at startup.
+			logger.Fatalf("battschedd: -cache-dir requires caching enabled (-cache > 0)")
+		}
+		st, rep, err := store.Open(*cacheDir, *cacheDisk)
+		if err != nil {
+			logger.Fatalf("battschedd: -cache-dir: %v", err)
+		}
+		logger.Printf("battschedd: warm start from %s: %d entries (%d bytes), %d corrupt skipped, %d evicted over budget",
+			*cacheDir, rep.Entries, rep.Bytes, rep.Corrupt, rep.Evicted)
+		cfg.CacheStore = st
 	}
 	if !*quiet {
 		cfg.AccessLog = logger

@@ -11,7 +11,10 @@
 //   - Cache: a bounded, concurrency-safe LRU from canonical content
 //     hash (see Key) to engine.Result, with single-flight deduplication —
 //     identical requests arriving concurrently compute once and share
-//     the result.
+//     the result. An optional disk tier (internal/store) sits under the
+//     LRU: memory misses consult it before computing, disk hits are
+//     promoted into memory, and computed results are written through,
+//     so the cache survives a process restart.
 //   - Engine: a drop-in cached counterpart of engine.Engine. Its
 //     RunBatch has the same ordering, per-job-error and determinism
 //     guarantees as the uncached engine; only wall-clock time changes.
@@ -34,6 +37,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/store"
 )
 
 // DefaultMaxEntries bounds a Cache created with New(0). A cached result
@@ -50,6 +54,12 @@ type Cache struct {
 	ll      *list.List               // front = most recently used
 	entries map[string]*list.Element // key -> element whose Value is *entry
 	flights map[string]*flight       // keys being computed right now
+
+	// disk is the optional second tier, consulted on memory miss and
+	// written through on store. All disk IO happens outside mu, from
+	// inside the single-flight leader, so a slow disk never blocks
+	// memory hits and a key is read from disk at most once per miss.
+	disk *store.Store
 
 	hits      atomic.Uint64
 	misses    atomic.Uint64
@@ -93,11 +103,36 @@ type Stats struct {
 	Bypasses uint64 `json:"bypasses"`
 	// Entries is the current number of stored results.
 	Entries int `json:"entries"`
+	// The disk_* counters mirror the optional disk tier (all zero when
+	// none is attached): DiskHits counts memory misses answered from
+	// disk (Hits counts memory only, Misses counts computations —
+	// disjoint by construction), DiskMisses counts memory misses that
+	// had to compute, DiskErrors counts corrupt entries discarded and
+	// IO failures (each degraded to a miss or a skipped write), and
+	// DiskEvictions counts entries dropped by the disk byte budget.
+	// DiskEntries/DiskBytes are the current on-disk population.
+	DiskHits      uint64 `json:"disk_hits"`
+	DiskMisses    uint64 `json:"disk_misses"`
+	DiskErrors    uint64 `json:"disk_errors"`
+	DiskEvictions uint64 `json:"disk_evictions"`
+	DiskEntries   int    `json:"disk_entries"`
+	DiskBytes     int64  `json:"disk_bytes"`
 }
 
 // New returns an empty cache bounded at maxEntries results (0 means
 // DefaultMaxEntries).
 func New(maxEntries int) *Cache {
+	return NewWithStore(maxEntries, nil)
+}
+
+// NewWithStore is New with a disk tier layered under the LRU: memory
+// misses consult disk before computing (promoting hits into memory),
+// and computed results are written through, so the cache's contents
+// survive a restart of the process that owns disk's directory. A nil
+// disk is exactly New. The disk tier is strictly best-effort — every
+// disk failure degrades to a miss or a skipped write (counted in
+// Stats.DiskErrors), never an error or a wrong result.
+func NewWithStore(maxEntries int, disk *store.Store) *Cache {
 	if maxEntries <= 0 {
 		maxEntries = DefaultMaxEntries
 	}
@@ -106,6 +141,7 @@ func New(maxEntries int) *Cache {
 		ll:      list.New(),
 		entries: make(map[string]*list.Element),
 		flights: make(map[string]*flight),
+		disk:    disk,
 	}
 }
 
@@ -144,7 +180,7 @@ func (c *Cache) DoContext(ctx context.Context, key string, compute func() engine
 			res := el.Value.(*entry).res
 			c.mu.Unlock()
 			c.hits.Add(1)
-			return cloneResult(res), true
+			return CloneResult(res), true
 		}
 		if f, ok := c.flights[key]; ok {
 			c.mu.Unlock()
@@ -162,11 +198,27 @@ func (c *Cache) DoContext(ctx context.Context, key string, compute func() engine
 				continue // leader aborted; retry, possibly as the new leader
 			}
 			c.dedups.Add(1)
-			return cloneResult(f.res), true
+			return CloneResult(f.res), true
 		}
 		f := &flight{done: make(chan struct{})}
 		c.flights[key] = f
 		c.mu.Unlock()
+
+		// The single-flight leader consults the disk tier before
+		// computing: outside mu (a disk read must never block memory
+		// hits) and inside the flight (concurrent identical requests
+		// share one disk read exactly as they share one computation).
+		// A disk hit is promoted into the memory LRU and completes the
+		// flight as if it had been computed.
+		if res, ok := c.diskGet(key); ok {
+			c.mu.Lock()
+			delete(c.flights, key)
+			c.store(key, res)
+			c.mu.Unlock()
+			f.res = res
+			close(f.done)
+			return CloneResult(res), true
+		}
 
 		c.misses.Add(1)
 		res := compute()
@@ -187,7 +239,28 @@ func (c *Cache) DoContext(ctx context.Context, key string, compute func() engine
 		c.mu.Unlock()
 		f.res = res
 		close(f.done)
-		return cloneResult(res), false
+		// Write-through after the flight completes: waiters are already
+		// unblocked, and the memory entry is live, so disk latency costs
+		// only this one request. Failures are counted by the store and
+		// degrade to "not persisted".
+		c.diskPut(key, res)
+		return CloneResult(res), false
+	}
+}
+
+// diskGet consults the disk tier; a nil tier is a permanent miss.
+func (c *Cache) diskGet(key string) (engine.Result, bool) {
+	if c.disk == nil {
+		return engine.Result{}, false
+	}
+	return c.disk.Get(key)
+}
+
+// diskPut writes through to the disk tier, if any. Best-effort: the
+// store counts failures in its Errors counter.
+func (c *Cache) diskPut(key string, res engine.Result) {
+	if c.disk != nil {
+		c.disk.Put(key, res)
 	}
 }
 
@@ -200,7 +273,7 @@ func (c *Cache) Get(key string) (engine.Result, bool) {
 		return engine.Result{}, false
 	}
 	c.ll.MoveToFront(el)
-	return cloneResult(el.Value.(*entry).res), true
+	return CloneResult(el.Value.(*entry).res), true
 }
 
 // store inserts (or refreshes) key under the LRU bound. Caller holds mu.
@@ -226,9 +299,10 @@ func (c *Cache) Len() int {
 	return c.ll.Len()
 }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters (including the disk tier's, when one is
+// attached).
 func (c *Cache) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		Dedups:    c.dedups.Load(),
@@ -236,12 +310,25 @@ func (c *Cache) Stats() Stats {
 		Bypasses:  c.bypasses.Load(),
 		Entries:   c.Len(),
 	}
+	if c.disk != nil {
+		ds := c.disk.Stats()
+		st.DiskHits = ds.Hits
+		st.DiskMisses = ds.Misses
+		st.DiskErrors = ds.Errors
+		st.DiskEvictions = ds.Evictions
+		st.DiskEntries = ds.Entries
+		st.DiskBytes = ds.Bytes
+	}
+	return st
 }
 
-// cloneResult deep-copies the pointer-typed fields of a result so cache
-// canon and caller never alias. Err is shared (errors are immutable by
-// convention).
-func cloneResult(r engine.Result) engine.Result {
+// CloneResult deep-copies the pointer-typed fields of a result so two
+// holders never alias the same Schedule/Idle storage. Err is shared
+// (errors are immutable by convention). The cache uses it on every
+// lookup so callers can mutate what they get back without corrupting
+// the stored canon; other retaining layers (the async queue's terminal
+// snapshots) share it for the same no-aliasing invariant.
+func CloneResult(r engine.Result) engine.Result {
 	if r.Schedule != nil {
 		r.Schedule = r.Schedule.Clone()
 	}

@@ -39,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/engine"
 )
 
@@ -430,10 +431,24 @@ func killCause(s State) error {
 	return errAborted
 }
 
-// expire is the TTL timer callback.
+// expire is the TTL timer callback. The timer fires without holding
+// q.mu, so by the time it acquires the lock the deadline it was armed
+// for may be stale: a coalescing submission can have extended
+// expiresAt (or cleared it) while this callback was blocked on the
+// lock. The deadline under the lock is the truth — re-check it, and
+// re-arm for the remainder instead of killing a job whose extended TTL
+// has not elapsed. (Re-arming can leave two timers pointed at the same
+// task; that is benign, because every path through here re-validates.)
 func (q *Queue) expire(t *task) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if t.state.Terminal() || t.expiresAt.IsZero() {
+		return
+	}
+	if remain := time.Until(t.expiresAt); remain > 0 {
+		t.timer = time.AfterFunc(remain, func() { q.expire(t) })
+		return
+	}
 	q.killLocked(t, StateExpired)
 }
 
@@ -595,9 +610,13 @@ func (q *Queue) Stats() Stats {
 }
 
 // snapshot copies the task's externally visible state; caller holds mu
-// (or the task is terminal, whose fields are frozen).
+// (or the task is terminal, whose fields are frozen). The retained
+// result's pointer fields (Schedule, Idle) are deep-copied with the
+// cache's clone so every poller owns its storage: a terminal result is
+// handed out many times, and a caller mutating its copy must never
+// reach back into the queue's canon or into another poller's snapshot.
 func (t *task) snapshot() Snapshot {
-	return Snapshot{ID: t.id, State: t.state, Priority: t.priority, Result: t.res}
+	return Snapshot{ID: t.id, State: t.state, Priority: t.priority, Result: cache.CloneResult(t.res)}
 }
 
 // taskHeap orders ready tasks by priority (higher first), FIFO within a

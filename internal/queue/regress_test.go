@@ -1,0 +1,105 @@
+package queue
+
+// Regression tests for two lifecycle bugs:
+//
+//   - A TTL timer that fired before a coalescing submission extended
+//     the deadline, but acquired q.mu after, used to kill the freshly
+//     extended job: the callback trusted the moment it fired instead of
+//     the deadline under the lock.
+//   - task.snapshot used to shallow-copy the retained engine.Result, so
+//     every poller of a terminal job shared the same Schedule/Idle
+//     pointers — one caller's mutation reached all the others and the
+//     queue's own canon.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sched"
+)
+
+// TestExpireAfterExtensionKeepsJob reproduces the race deterministically
+// by holding q.mu across the moment the short TTL elapses: the timer
+// callback fires and blocks on the lock, the extension lands first
+// (coalesceLocked, exactly what a duplicate Submit does), and the stale
+// callback must then honor the extended deadline instead of expiring
+// the job.
+func TestExpireAfterExtensionKeepsJob(t *testing.T) {
+	q := New(Config{Workers: 1})
+	defer q.Close()
+
+	// Occupy the only worker so the victim stays queued (an expirable
+	// state) for the whole dance.
+	release := make(chan struct{})
+	if _, err := q.Submit(Submission{ID: "blocker", Run: blockingRun(release, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, "blocker", StateRunning)
+
+	const shortTTL = 30 * time.Millisecond
+	if _, err := q.Submit(Submission{ID: "victim", TTL: shortTTL, Run: instantRun(2)}); err != nil {
+		t.Fatal(err)
+	}
+
+	q.mu.Lock()
+	victim := q.tasks["victim"]
+	// Let the short TTL elapse while we hold the lock: the timer
+	// callback is now blocked on q.mu with a stale deadline.
+	time.Sleep(2 * shortTTL)
+	// The extension wins the lock race, exactly as a coalescing Submit
+	// would.
+	q.coalesceLocked(victim, Submission{ID: "victim", TTL: 10 * time.Second}, time.Now())
+	q.mu.Unlock()
+
+	// Give the stale callback time to run; it must not kill the job.
+	time.Sleep(5 * shortTTL)
+	snap, ok := q.Get("victim")
+	if !ok {
+		t.Fatal("victim vanished")
+	}
+	if snap.State == StateExpired {
+		t.Fatal("stale TTL timer expired a job whose deadline had been extended")
+	}
+
+	// The extended job still completes normally once a worker frees up.
+	close(release)
+	waitState(t, q, "victim", StateDone)
+}
+
+// TestSnapshotResultIsDeepCopy: pollers of a terminal job own their
+// result storage — mutating one snapshot must not leak into the next.
+func TestSnapshotResultIsDeepCopy(t *testing.T) {
+	q := New(Config{Workers: 1})
+	defer q.Close()
+
+	res := engine.Result{
+		Strategy: "iterative",
+		Cost:     5,
+		Schedule: &sched.Schedule{Order: []int{1, 0}, Assignment: map[int]int{0: 0, 1: 1}},
+	}
+	if _, err := q.Submit(Submission{ID: "a", Run: func(context.Context) engine.Result { return res }}); err != nil {
+		t.Fatal(err)
+	}
+	first := waitState(t, q, "a", StateDone)
+	if first.Result.Schedule == nil {
+		t.Fatal("terminal result lost its schedule")
+	}
+
+	// Vandalize the first poller's copy.
+	first.Result.Schedule.Order[0] = -99
+	first.Result.Schedule.Assignment[0] = -99
+
+	second, ok := q.Get("a")
+	if !ok {
+		t.Fatal("terminal job not pollable")
+	}
+	if second.Result.Schedule.Order[0] == -99 || second.Result.Schedule.Assignment[0] == -99 {
+		t.Fatal("two snapshots of one terminal job alias the same Schedule")
+	}
+	// And the producer's own result must be untouched as well.
+	if res.Schedule.Order[0] == -99 || res.Schedule.Assignment[0] == -99 {
+		t.Fatal("a poller's mutation reached the stored canon")
+	}
+}

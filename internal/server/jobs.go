@@ -322,7 +322,17 @@ func (s *Server) handleJobsBatchStream(w http.ResponseWriter, r *http.Request) {
 				return // client gave up
 			}
 			if !ok {
-				snap = slot.snap // aged out mid-wait; fall back to the admission snapshot
+				// Aged out of the queue mid-wait. The admission snapshot
+				// is all we have, and unless it was already terminal at
+				// submit time it says nothing about how the job ended —
+				// the job may well have completed and been pruned.
+				// Mirroring the out-of-order path: never dress a
+				// non-terminal snapshot up as an outcome (terminalResult
+				// would render it as a false "job aborted" line).
+				snap = slot.snap
+			}
+			if !snap.State.Terminal() {
+				return
 			}
 			if !emit(terminalResult(snap, i, slot.name)) {
 				return

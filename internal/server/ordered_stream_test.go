@@ -1,0 +1,119 @@
+package server
+
+// Regression test: the ordered path of POST /v1/jobs/stream used to
+// dress the admission snapshot up as an outcome when a job aged out of
+// the queue mid-wait — terminalResult renders a non-terminal snapshot
+// as a false "job aborted" line, for a job that in fact completed. The
+// fix mirrors the out-of-order path: a non-terminal snapshot ends the
+// stream instead of lying about the job.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func TestOrderedStreamDoesNotFakeAbortForPrunedJob(t *testing.T) {
+	// Workers: 1 serializes real computations through a single engine
+	// slot (cache hits bypass it); negative retention prunes terminal
+	// jobs on the very next Submit — the aging-out the bug needs.
+	s, ts := newJobsServer(t, Config{Workers: 1, JobRetention: -time.Nanosecond})
+
+	const fast = `{"fixture":"g3","deadline":230,"strategy":"iterative"}`
+	if resp, data := post(t, ts.URL+"/v1/schedule", fast); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warming the fast job: %d: %s", resp.StatusCode, data)
+	}
+	slow := slowJob(31)
+
+	// Occupy the engine slot with the slow job, then run the fast one:
+	// a cache hit, done immediately, retained until the next Submit.
+	stSlow, _ := submitJob(t, ts.URL, slow)
+	stFast, _ := submitJob(t, ts.URL, fast)
+	pollUntil(t, ts.URL, stFast.ID, terminal)
+
+	// Ordered stream [slow, fast]: admission coalesces onto the running
+	// slow job (pruning the retained fast one) and re-submits the fast
+	// job; the handler then blocks in Wait(slow) with the fast job's
+	// line still owed.
+	type streamOut struct {
+		lines []string
+		err   error
+	}
+	outc := make(chan streamOut, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/jobs/stream?ordered=1", "application/x-ndjson",
+			strings.NewReader(slow+"\n"+fast+"\n"))
+		if err != nil {
+			outc <- streamOut{err: err}
+			return
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var lines []string
+		for _, l := range strings.Split(string(data), "\n") {
+			if strings.TrimSpace(l) != "" {
+				lines = append(lines, l)
+			}
+		}
+		outc <- streamOut{lines: lines, err: err}
+	}()
+
+	// Admission done = all four Submits counted (two direct, two from
+	// the stream; Submitted includes coalesced ones).
+	waitDeadline := time.Now().Add(30 * time.Second)
+	for s.jobs.Stats().Submitted < 4 {
+		if time.Now().After(waitDeadline) {
+			t.Fatal("stream admission never happened")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The re-submitted fast job completes (cache hit again)…
+	pollUntil(t, ts.URL, stFast.ID, terminal)
+	// …and the next Submit prunes it out of the queue entirely.
+	if _, resp := submitJob(t, ts.URL, slowJob(32)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("pruning submit: status %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts.URL+"/v1/jobs/"+stFast.ID); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("fast job still pollable (status %d); prune did not happen", resp.StatusCode)
+	}
+
+	// Abort the slow job. The handler emits a genuine aborted line for
+	// index 0, then finds the fast job unknown: the admission snapshot
+	// is non-terminal, so the stream must end — one line total, not a
+	// fabricated "job aborted" for a job that completed.
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+stSlow.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	var out streamOut
+	select {
+	case out = <-outc:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stream never finished")
+	}
+	if out.err != nil {
+		t.Fatalf("reading stream: %v", out.err)
+	}
+	if len(out.lines) != 1 {
+		t.Fatalf("stream emitted %d lines, want exactly 1 (the aborted slow job):\n%s",
+			len(out.lines), strings.Join(out.lines, "\n"))
+	}
+	var line wire.Result
+	if err := json.Unmarshal([]byte(out.lines[0]), &line); err != nil {
+		t.Fatalf("bad stream line %q: %v", out.lines[0], err)
+	}
+	if line.Index != 0 || line.Code != wire.CodeAborted {
+		t.Fatalf("stream line = %+v, want the index-0 abort", line)
+	}
+}

@@ -1,0 +1,110 @@
+package server
+
+// The headline persistence property, end to end over HTTP: populate a
+// daemon whose cache has a disk tier, kill it, start a fresh daemon on
+// the same directory, and the same requests answer byte-identical from
+// disk with zero engine computations — corrupt files planted in the
+// directory are skipped at scan, not served.
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// persistRequests are distinct cacheable requests covering a plain
+// result, a different strategy, a multistart search, and a cached
+// per-job error (infeasible deadline → 422 with an error envelope).
+var persistRequests = []struct {
+	body   string
+	status int
+}{
+	{`{"fixture":"g3","deadline":230,"strategy":"iterative"}`, http.StatusOK},
+	{`{"fixture":"g3","deadline":230,"strategy":"withidle"}`, http.StatusOK},
+	{`{"fixture":"g3","deadline":230,"strategy":"multistart","restarts":8,"seed":7}`, http.StatusOK},
+	{`{"fixture":"g3","deadline":1,"strategy":"iterative"}`, http.StatusUnprocessableEntity},
+}
+
+func openStore(t *testing.T, dir string) (*store.Store, store.ScanReport) {
+	t.Helper()
+	st, rep, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, rep
+}
+
+func TestRestartServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+
+	// First life: populate through the full HTTP path.
+	st1, _ := openStore(t, dir)
+	s1 := New(Config{Workers: 2, CacheStore: st1})
+	ts1 := httptest.NewServer(s1.Handler())
+	bodies := make([][]byte, len(persistRequests))
+	for i, req := range persistRequests {
+		resp, data := post(t, ts1.URL+"/v1/schedule", req.body)
+		if resp.StatusCode != req.status {
+			t.Fatalf("populate %d: status %d, want %d: %s", i, resp.StatusCode, req.status, data)
+		}
+		if got := resp.Header.Get("X-Cache"); got != "miss" {
+			t.Fatalf("populate %d: X-Cache = %q, want miss", i, got)
+		}
+		bodies[i] = data
+	}
+	ts1.Close()
+	s1.Close()
+
+	// Hostile restart conditions: plant corrupt files under keys the
+	// daemon never stored — a truncated entry, garbage, and an empty
+	// file. The scan must count and discard all three.
+	for i, junk := range [][]byte{[]byte("not an entry"), {}, []byte("BSRS")} {
+		key := strings.Repeat("bad"[i:i+1], 64)
+		fanout := filepath.Join(dir, key[:2])
+		if err := os.MkdirAll(fanout, 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(fanout, key+".res"), junk, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Second life: fresh process state, same directory.
+	st2, rep := openStore(t, dir)
+	if rep.Entries != len(persistRequests) || rep.Corrupt != 3 {
+		t.Fatalf("warm scan: %+v, want %d entries / 3 corrupt", rep, len(persistRequests))
+	}
+	s2 := New(Config{Workers: 2, CacheStore: st2})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	defer s2.Close()
+
+	for i, req := range persistRequests {
+		resp, data := post(t, ts2.URL+"/v1/schedule", req.body)
+		if resp.StatusCode != req.status {
+			t.Fatalf("replay %d: status %d, want %d: %s", i, resp.StatusCode, req.status, data)
+		}
+		if got := resp.Header.Get("X-Cache"); got != "hit" {
+			t.Fatalf("replay %d: X-Cache = %q, want hit", i, got)
+		}
+		if !bytes.Equal(data, bodies[i]) {
+			t.Fatalf("replay %d body differs across restart:\nbefore: %s\nafter:  %s", i, bodies[i], data)
+		}
+	}
+
+	// "Zero engine computations": every replay was a disk hit, nothing
+	// was a memory hit (fresh LRU), and nothing computed or bypassed.
+	cs := s2.Cache().Stats()
+	if cs.Misses != 0 || cs.Bypasses != 0 {
+		t.Fatalf("restarted server computed: %+v", cs)
+	}
+	if cs.DiskHits != uint64(len(persistRequests)) {
+		t.Fatalf("disk hits = %d, want %d: %+v", cs.DiskHits, len(persistRequests), cs)
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/engine"
 	"repro/internal/queue"
+	"repro/internal/store"
 	"repro/internal/taskgraph"
 	"repro/internal/wire"
 )
@@ -64,6 +65,14 @@ type Config struct {
 	// CacheEntries bounds the result LRU; 0 means
 	// cache.DefaultMaxEntries, negative disables caching.
 	CacheEntries int
+	// CacheStore, when non-nil, is the disk tier layered under the
+	// result LRU (cmd/battschedd's -cache-dir flag): memory misses
+	// consult it before computing, computed results are written through,
+	// and a server restarted on the same store answers repeated requests
+	// from disk with zero recomputation. Ignored when caching is
+	// disabled (CacheEntries < 0). The caller opens the store
+	// (store.Open) so startup owns the warm-start scan and its logging.
+	CacheStore *store.Store
 	// MaxBodyBytes caps a request body; 0 means 16 MB.
 	MaxBodyBytes int64
 	// MaxBatchJobs caps the job lines one /v1/batch request may carry,
@@ -195,7 +204,7 @@ func New(cfg Config) *Server {
 	}
 	s.metrics.modelKinds = make([]atomic.Uint64, len(specKinds))
 	if cfg.CacheEntries >= 0 {
-		s.cache = cache.New(cfg.CacheEntries)
+		s.cache = cache.NewWithStore(cfg.CacheEntries, cfg.CacheStore)
 	}
 	workers := cfg.Workers
 	if workers <= 0 {

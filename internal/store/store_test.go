@@ -1,0 +1,289 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sched"
+)
+
+// fullResult exercises every encoded field, including the pointer ones.
+func fullResult() engine.Result {
+	return engine.Result{
+		Strategy:   "withidle",
+		Cost:       123.456,
+		Duration:   78.9,
+		Energy:     1011.12,
+		Iterations: 7,
+		Schedule: &sched.Schedule{
+			Order:      []int{2, 0, 1, 3},
+			Assignment: map[int]int{0: 1, 1: 0, 2: 4, 3: 2},
+		},
+		Idle: &core.IdlePlan{
+			After:    []float64{0, 1.5, 0, 2.25},
+			Cost:     120.5,
+			BaseCost: 123.456,
+		},
+	}
+}
+
+// key returns a distinct valid 64-hex key per index.
+func key(i int) string {
+	return fmt.Sprintf("%064x", i+1)
+}
+
+func mustOpen(t *testing.T, dir string, maxBytes int64) (*Store, ScanReport) {
+	t.Helper()
+	s, rep, err := Open(dir, maxBytes)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s, rep
+}
+
+// resultsEqual compares results structurally, treating errors by
+// message (decode reconstructs errors as opaque strings).
+func resultsEqual(a, b engine.Result) bool {
+	ae, be := "", ""
+	if a.Err != nil {
+		ae = a.Err.Error()
+	}
+	if b.Err != nil {
+		be = b.Err.Error()
+	}
+	a.Err, b.Err = nil, nil
+	return ae == be && reflect.DeepEqual(a, b)
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	cases := map[string]engine.Result{
+		"full":          fullResult(),
+		"schedule-only": {Strategy: "iterative", Cost: 1, Duration: 2, Energy: 3, Iterations: 4, Schedule: &sched.Schedule{Order: []int{0}, Assignment: map[int]int{0: 0}}},
+		"error":         {Strategy: "iterative", Err: errors.New("core: infeasible deadline")},
+		"empty-maps": {Strategy: "iterative", Schedule: &sched.Schedule{
+			Order: []int{}, Assignment: map[int]int{}}},
+	}
+	for name, want := range cases {
+		t.Run(name, func(t *testing.T) {
+			got, err := decodeEntry(encodeEntry(want))
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !resultsEqual(got, want) {
+				t.Fatalf("round trip mismatch:\ngot:  %+v\nwant: %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestCodecDeterministic: encoding is canonical — equal results encode
+// to identical bytes regardless of map iteration order.
+func TestCodecDeterministic(t *testing.T) {
+	first := encodeEntry(fullResult())
+	for i := 0; i < 20; i++ {
+		if got := encodeEntry(fullResult()); string(got) != string(first) {
+			t.Fatalf("encoding differs between calls (iteration %d)", i)
+		}
+	}
+}
+
+// TestCodecNoAliasing: a decoded result owns its storage.
+func TestCodecNoAliasing(t *testing.T) {
+	data := encodeEntry(fullResult())
+	a, err := decodeEntry(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := decodeEntry(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Schedule.Order[0] = 99
+	a.Schedule.Assignment[0] = 99
+	a.Idle.After[0] = 99
+	if b.Schedule.Order[0] == 99 || b.Schedule.Assignment[0] == 99 || b.Idle.After[0] == 99 {
+		t.Fatal("two decodes of the same entry alias each other")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, rep := mustOpen(t, t.TempDir(), 0)
+	if rep.Entries != 0 || rep.Corrupt != 0 {
+		t.Fatalf("fresh dir scan: %+v", rep)
+	}
+	want := fullResult()
+	if err := s.Put(key(0), want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key(0))
+	if !ok {
+		t.Fatal("stored entry missed")
+	}
+	if !resultsEqual(got, want) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	if _, ok := s.Get(key(1)); ok {
+		t.Fatal("hit for a key never stored")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes <= 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestReopenWarmStart: a second Open on the same dir sees every entry
+// the first process stored — the headline restart property at the
+// store level.
+func TestReopenWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := mustOpen(t, dir, 0)
+	results := map[string]engine.Result{
+		key(0): fullResult(),
+		key(1): {Strategy: "iterative", Err: errors.New("infeasible")},
+		key(2): {Strategy: "lowest-power", Cost: 9, Schedule: &sched.Schedule{Order: []int{0, 1}, Assignment: map[int]int{0: 0, 1: 1}}},
+	}
+	for k, r := range results {
+		if err := s1.Put(k, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2, rep := mustOpen(t, dir, 0)
+	if rep.Entries != len(results) || rep.Corrupt != 0 {
+		t.Fatalf("warm scan: %+v, want %d entries", rep, len(results))
+	}
+	if rep.Bytes != s2.Bytes() {
+		t.Fatalf("report bytes %d != store bytes %d", rep.Bytes, s2.Bytes())
+	}
+	for k, want := range results {
+		got, ok := s2.Get(k)
+		if !ok || !resultsEqual(got, want) {
+			t.Fatalf("key %s after reopen: ok=%v got %+v want %+v", k, ok, got, want)
+		}
+	}
+}
+
+// TestEvictionOldestFirst: the byte budget drops oldest-mtime entries;
+// a Get refreshes recency.
+func TestEvictionOldestFirst(t *testing.T) {
+	small := engine.Result{Strategy: "iterative", Cost: 1,
+		Schedule: &sched.Schedule{Order: []int{0}, Assignment: map[int]int{0: 0}}}
+	entrySize := int64(len(encodeEntry(small)))
+
+	// Budget for exactly 3 entries.
+	s, _ := mustOpen(t, t.TempDir(), 3*entrySize)
+	for i := 0; i < 3; i++ {
+		if err := s.Put(key(i), small); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes even on coarse-grained filesystems.
+		now := time.Now().Add(time.Duration(i-10) * time.Second)
+		os.Chtimes(s.path(key(i)), now, now)
+		s.mu.Lock()
+		e := s.index[key(i)]
+		e.mtime = now
+		s.index[key(i)] = e
+		s.mu.Unlock()
+	}
+	// Touch key(0) (the oldest) so key(1) becomes the eviction victim.
+	if _, ok := s.Get(key(0)); !ok {
+		t.Fatal("key(0) missing before eviction")
+	}
+	if err := s.Put(key(3), small); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Stats().Evictions)
+	}
+	if _, ok := s.Get(key(1)); ok {
+		t.Fatal("oldest untouched entry survived eviction")
+	}
+	for _, k := range []string{key(0), key(2), key(3)} {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("entry %s evicted, want it retained", k)
+		}
+	}
+	if got := s.Bytes(); got > 3*entrySize {
+		t.Fatalf("bytes %d over budget %d", got, 3*entrySize)
+	}
+}
+
+// TestReopenShrunkenBudgetEvicts: reopening with a smaller bound trims
+// the surviving population and reports it.
+func TestReopenShrunkenBudgetEvicts(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := mustOpen(t, dir, 0)
+	small := engine.Result{Strategy: "iterative", Cost: 1,
+		Schedule: &sched.Schedule{Order: []int{0}, Assignment: map[int]int{0: 0}}}
+	entrySize := int64(len(encodeEntry(small)))
+	for i := 0; i < 4; i++ {
+		if err := s1.Put(key(i), small); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, rep := mustOpen(t, dir, 2*entrySize)
+	if rep.Entries != 4 || rep.Evicted != 2 {
+		t.Fatalf("shrunken reopen: %+v, want 4 found / 2 evicted", rep)
+	}
+	if got := s2.Len(); got != 2 {
+		t.Fatalf("%d entries after shrunken reopen, want 2", got)
+	}
+}
+
+// TestOversizeEntrySkipped: an entry larger than the whole budget is
+// not stored (and evicts nothing).
+func TestOversizeEntrySkipped(t *testing.T) {
+	s, _ := mustOpen(t, t.TempDir(), 64) // far below any real entry
+	if err := s.Put(key(0), fullResult()); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatal("oversize entry was stored")
+	}
+	if _, ok := s.Get(key(0)); ok {
+		t.Fatal("oversize entry served")
+	}
+}
+
+// TestInvalidKeys: non-hex or out-of-range keys are refused without
+// touching the filesystem.
+func TestInvalidKeys(t *testing.T) {
+	s, _ := mustOpen(t, t.TempDir(), 0)
+	for _, k := range []string{"", "ab", "../../../../etc/passwd", "ABCDEF12", "zzzz", "ab/cd"} {
+		if err := s.Put(k, fullResult()); err == nil {
+			t.Fatalf("Put(%q) accepted an invalid key", k)
+		}
+		if _, ok := s.Get(k); ok {
+			t.Fatalf("Get(%q) hit on an invalid key", k)
+		}
+	}
+}
+
+// TestScanSweepsTmpLeftovers: a crash mid-Put leaves a tmp file; Open
+// removes it without counting it corrupt (it never was an entry).
+func TestScanSweepsTmpLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := mustOpen(t, dir, 0)
+	if err := s1.Put(key(0), fullResult()); err != nil {
+		t.Fatal(err)
+	}
+	fanout := filepath.Dir(s1.path(key(0)))
+	tmp := filepath.Join(fanout, "put-123.tmp")
+	if err := os.WriteFile(tmp, []byte("half-written"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	_, rep := mustOpen(t, dir, 0)
+	if rep.Entries != 1 || rep.Corrupt != 0 {
+		t.Fatalf("scan with tmp leftover: %+v", rep)
+	}
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("tmp leftover survived the scan")
+	}
+}
