@@ -2,8 +2,9 @@
 // multichecker over the analyzers in internal/analysis/... that
 // machine-check what the test suite can only spot-check — canonical
 // encoders covering every exported field, contexts threaded once
-// received, map iteration order kept out of deterministic outputs, the
-// hot path free of allocating calls, and no dead stores.
+// received, map iteration order kept out of deterministic outputs,
+// filesystem calls routed through the injectable fault seam, the hot
+// path free of allocating calls, and no dead stores.
 //
 // Standalone use (what scripts/lint.sh and CI run):
 //
@@ -36,6 +37,7 @@ import (
 	"repro/internal/analysis/canonfields"
 	"repro/internal/analysis/ctxflow"
 	"repro/internal/analysis/detrange"
+	"repro/internal/analysis/fsseam"
 	"repro/internal/analysis/hotpath"
 	"repro/internal/analysis/unusedwrite"
 )
@@ -47,6 +49,7 @@ var all = []*analysis.Analyzer{
 	canonfields.Analyzer,
 	ctxflow.Analyzer,
 	detrange.Analyzer,
+	fsseam.Analyzer,
 	hotpath.Analyzer,
 	unusedwrite.Analyzer,
 }

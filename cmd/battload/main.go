@@ -13,6 +13,9 @@
 //	         [-n 1000] [-c 64 | -sweep 8,64,512] [-rate 0]
 //	         [-fixture g3] [-deadline-min 100] [-deadline-max 230]
 //	         [-priorities 0:7,5:2,9:1] [-dup-every 0] [-ttl 0] [-timeout 0]
+//	         [-resilient] [-verify-bytes]
+//	         [-self-faults schedule] [-self-store dir] [-min-faults 0]
+//	         [-self-breaker-threshold 0] [-self-breaker-window 0] [-self-breaker-probe 0]
 //	         [-slo-e2e-p99 0] [-slo-submit-p99 0] [-slo-poll-p99 0]
 //	         [-slo-error-rate -1] [-assert] [-o report.json] [-bench]
 //
@@ -24,6 +27,22 @@
 //
 //	# Self-contained SLO smoke (starts an in-process battschedd):
 //	battload -self -n 300 -c 64 -slo-e2e-p99 10s -slo-error-rate 0 -assert
+//
+//	# Chaos run: deterministic disk faults under the store, the breaker
+//	# cycling, the resilient client in front, zero loss asserted:
+//	battload -self -resilient -n 800 -c 32 \
+//	    -self-faults "write:every=1:eio,read:every=2:eio" \
+//	    -self-breaker-threshold 40 -self-breaker-probe 20ms \
+//	    -min-faults 100 -assert
+//
+// -resilient drives the run through internal/client (capped backoff
+// with deterministic jitter, Retry-After floors, resubmit on 404 after
+// a restart) instead of the raw poll loop; the report then carries the
+// client's own attempt/retry ledger. -self-faults installs a
+// deterministic fault schedule (see internal/fault) under -self's disk
+// store and the run logs the chaos ledger — faults injected per op,
+// disk errors, breaker state and trips; with -assert, -min-faults
+// turns "the chaos leg actually ran" into a checked claim.
 //
 // The human-readable summary goes to stderr; stdout carries only the
 // -bench lines (go test -bench format, pipeable into scripts/benchjson)
@@ -48,8 +67,11 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cache"
+	"repro/internal/fault"
 	"repro/internal/loadgen"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -87,6 +109,16 @@ func main() {
 
 		selfQueue   = flag.Int("self-queue", 0, "with -self: queue capacity (0 = default)")
 		selfWorkers = flag.Int("self-queue-workers", 0, "with -self: queue worker count (0 = default)")
+
+		resilient   = flag.Bool("resilient", false, "drive the run through internal/client's retrying client (absorbs restarts and backpressure)")
+		verifyBytes = flag.Bool("verify-bytes", true, "record result bytes per job ID and count divergent re-observations")
+
+		selfFaults   = flag.String("self-faults", "", "with -self: deterministic disk-fault schedule for the store, e.g. write:every=5:eio (see internal/fault)")
+		selfStore    = flag.String("self-store", "", "with -self: disk store directory (default: a temp dir; required for -self-faults to matter)")
+		selfBreakThr = flag.Int("self-breaker-threshold", 0, "with -self: disk breaker error threshold (0 = default)")
+		selfBreakWin = flag.Duration("self-breaker-window", 0, "with -self: disk breaker error window (0 = default)")
+		selfBreakPrb = flag.Duration("self-breaker-probe", 0, "with -self: disk breaker half-open probe interval (0 = default)")
+		minFaults    = flag.Int("min-faults", 0, "with -assert: fail unless at least this many faults were injected (proves the chaos leg ran)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "", 0)
@@ -111,11 +143,46 @@ func main() {
 	}
 
 	base := *addr
+	var srv *server.Server
+	var injector *fault.Injector
+	if *selfFaults != "" && !*self {
+		logger.Println("battload: -self-faults requires -self")
+		os.Exit(2)
+	}
 	if *self {
-		srv := server.New(server.Config{
+		scfg := server.Config{
 			MaxQueued:    *selfQueue,
 			QueueWorkers: *selfWorkers,
-		})
+			DiskBreaker: cache.BreakerConfig{
+				Threshold: *selfBreakThr,
+				Window:    *selfBreakWin,
+				Probe:     *selfBreakPrb,
+			},
+		}
+		if *selfFaults != "" || *selfStore != "" {
+			rules, err := fault.ParseRules(*selfFaults)
+			if err != nil {
+				logger.Println("battload:", err)
+				os.Exit(2)
+			}
+			dir := *selfStore
+			if dir == "" {
+				var err error
+				if dir, err = os.MkdirTemp("", "battload-chaos-*"); err != nil {
+					logger.Fatalln("battload:", err)
+				}
+				defer os.RemoveAll(dir)
+			}
+			injector = fault.NewInjector(fault.OS, rules...)
+			st, rep, err := store.OpenFS(dir, 0, injector)
+			if err != nil {
+				logger.Fatalln("battload:", err)
+			}
+			scfg.CacheStore = st
+			logger.Printf("battload: disk store at %s (%d entries warm, %d tmp swept), fault schedule %q",
+				dir, rep.Entries, rep.TmpSwept, *selfFaults)
+		}
+		srv = server.New(scfg)
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			logger.Fatalln("battload:", err)
@@ -147,6 +214,8 @@ func main() {
 		PollInterval:   *pollInterval,
 		NoRetry429:     *noRetry,
 		VerifyTerminal: *verify,
+		VerifyBytes:    *verifyBytes,
+		Resilient:      *resilient,
 		NewJob:         spec.Job,
 		SLO: &loadgen.SLO{
 			SubmitP99:    *sloSubmit,
@@ -173,9 +242,43 @@ func main() {
 			failed = true
 		}
 	}
+
+	// The chaos ledger: how many faults actually fired, and what the
+	// breaker did about them. A chaos run whose schedule never fired
+	// proves nothing, so -min-faults (with -assert) turns "the faults
+	// ran" into a checked claim.
+	var chaos map[string]any
+	if injector != nil {
+		chaos = map[string]any{
+			"schedule":     *selfFaults,
+			"injected":     injector.Injected(),
+			"injected_ops": injector.InjectedByOp(),
+		}
+		m := srv.Metrics()
+		if m.Cache != nil {
+			chaos["disk_errors"] = m.Cache.DiskErrors
+			chaos["disk_breaker_state"] = m.Cache.DiskBreakerState
+			chaos["disk_breaker_open"] = m.Cache.DiskBreakerOpen
+			chaos["disk_skipped"] = m.Cache.DiskSkipped
+		}
+		logger.Printf("battload: chaos: %d fault(s) injected (%v); disk breaker %v (tripped %v, skipped %v disk ops)",
+			injector.Injected(), chaos["injected_ops"], chaos["disk_breaker_state"], chaos["disk_breaker_open"], chaos["disk_skipped"])
+		if *minFaults > 0 && injector.Injected() < uint64(*minFaults) {
+			logger.Printf("battload: CHAOS UNDERRUN: %d fault(s) injected, want >= %d", injector.Injected(), *minFaults)
+			failed = true
+		}
+	} else if *minFaults > 0 {
+		logger.Println("battload: -min-faults set but no fault schedule is active")
+		failed = true
+	}
+
 	if *out != "" {
-		doc, _ := json.MarshalIndent(map[string]any{"results": results}, "", "  ")
-		if err := os.WriteFile(*out, append(doc, '\n'), 0o644); err != nil {
+		doc := map[string]any{"results": results}
+		if chaos != nil {
+			doc["chaos"] = chaos
+		}
+		data, _ := json.MarshalIndent(doc, "", "  ")
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 			logger.Fatalln("battload:", err)
 		}
 		logger.Printf("battload: wrote %s", *out)

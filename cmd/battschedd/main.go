@@ -8,6 +8,7 @@
 //
 //	battschedd [-addr :8347] [-workers 0] [-max-inflight 0] [-cache 1024] [-timeout 0] [-battery spec] [-quiet]
 //	           [-cache-dir ""] [-cache-disk-max-bytes 1073741824]
+//	           [-disk-breaker-threshold 0] [-disk-breaker-window 0] [-disk-breaker-probe 0]
 //	           [-queue 0] [-queue-workers 0] [-job-ttl 0] [-job-retention 0]
 //
 //	curl -s localhost:8347/v1/schedule -d '{"fixture":"g3","deadline":230}'
@@ -34,7 +35,19 @@
 // restarted on the same directory warm starts from it — the same
 // requests answer byte-identical from disk with zero recomputation.
 // Startup logs the warm-start scan (entries, bytes, corrupt files
-// skipped); torn or corrupt entries are discarded, never served.
+// skipped, orphaned temp files swept); torn or corrupt entries are
+// discarded, never served.
+//
+// When the disk tier starts failing (a pulled volume, a full or
+// read-only filesystem), the daemon degrades instead of dying: a
+// circuit breaker counts disk errors and, past
+// `-disk-breaker-threshold` errors within `-disk-breaker-window`,
+// stops touching the disk and serves memory-only. Every
+// `-disk-breaker-probe` it lets one operation through; a success
+// re-closes the breaker and write-through resumes. GET /readyz reports
+// ok while healthy, degraded (still 200 — the process serves) while
+// the breaker is open, and draining (503 + Retry-After) during
+// shutdown; /metrics exposes the breaker state and trip count.
 //
 // Endpoints, wire schemas and curl walk-throughs are documented in
 // docs/API.md; request bodies are exactly battbatch's NDJSON job lines,
@@ -67,6 +80,7 @@ import (
 	"time"
 
 	"repro/internal/battery"
+	"repro/internal/cache"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -91,6 +105,10 @@ func main() {
 		queueWorkers = flag.Int("queue-workers", 0, "concurrently executing async jobs (0 = 2*GOMAXPROCS)")
 		jobTTL       = flag.Duration("job-ttl", 0, "default async job lifetime incl. queue wait, e.g. 5m (0 = unbounded)")
 		jobRetention = flag.Duration("job-retention", 0, "how long finished async jobs stay pollable (0 = 5m)")
+
+		breakThr = flag.Int("disk-breaker-threshold", 0, "disk errors within the window that trip the breaker to memory-only (0 = default 5, negative disables)")
+		breakWin = flag.Duration("disk-breaker-window", 0, "sliding window the threshold counts over (0 = default 30s)")
+		breakPrb = flag.Duration("disk-breaker-probe", 0, "how long an open breaker waits before half-open probing the disk (0 = default 10s)")
 	)
 	flag.Parse()
 
@@ -115,6 +133,11 @@ func main() {
 		QueueWorkers:   *queueWorkers,
 		JobDefaultTTL:  *jobTTL,
 		JobRetention:   *jobRetention,
+		DiskBreaker: cache.BreakerConfig{
+			Threshold: *breakThr,
+			Window:    *breakWin,
+			Probe:     *breakPrb,
+		},
 	}
 	if *cacheSize == 0 {
 		cfg.CacheEntries = -1
@@ -129,8 +152,8 @@ func main() {
 		if err != nil {
 			logger.Fatalf("battschedd: -cache-dir: %v", err)
 		}
-		logger.Printf("battschedd: warm start from %s: %d entries (%d bytes), %d corrupt skipped, %d evicted over budget",
-			*cacheDir, rep.Entries, rep.Bytes, rep.Corrupt, rep.Evicted)
+		logger.Printf("battschedd: warm start from %s: %d entries (%d bytes), %d corrupt skipped, %d tmp swept, %d evicted over budget",
+			*cacheDir, rep.Entries, rep.Bytes, rep.Corrupt, rep.TmpSwept, rep.Evicted)
 		cfg.CacheStore = st
 	}
 	if !*quiet {

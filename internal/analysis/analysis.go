@@ -18,6 +18,8 @@
 //	             Run when RunContext exists
 //	detrange     no map iteration order can leak into byte-deterministic
 //	             outputs of //battlint:deterministic packages
+//	fsseam       //battlint:fsseam packages route filesystem calls
+//	             through fault.FS, never direct os.*
 //	hotpath      //battsched:hotpath functions stay free of
 //	             fmt/time.Now/math-rand calls and defer-in-loop
 //	unusedwrite  a conservative, block-local dead-store check

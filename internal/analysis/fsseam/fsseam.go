@@ -1,0 +1,76 @@
+// Package fsseam guards the fault-injection seam: in a package marked
+//
+//	//battlint:fsseam
+//
+// (internal/store — everything whose disk I/O must be interceptable by
+// the deterministic fault injector), calling the os package's
+// filesystem functions directly is reported. Such a call works fine in
+// production and silently escapes every fault schedule: the injector
+// wraps fault.FS, so an os.Rename beside it is a code path the chaos
+// harness can never fail, which means a durability bug there ships
+// untested. PR 9's dir-fsync-after-rename fix is exactly the class of
+// bug this rule keeps visible — it was only testable because the
+// rename went through the seam.
+//
+// The deny list covers the operations the seam provides (MkdirAll,
+// ReadDir, ReadFile, Remove, Rename, CreateTemp, Chtimes) plus the
+// near-misses that would bypass it just as well (Create, Open,
+// OpenFile, WriteFile, Mkdir, RemoveAll, Truncate, Symlink, Link).
+// Metadata reads (os.Stat, os.IsNotExist) stay legal — they carry no
+// fault surface the schedules model. A deliberate exception (none
+// exist today) is acknowledged in place with
+// //battlint:allow fsseam <reason>. Test files are outside battlint's
+// load, so tests may keep corrupting files behind the seam's back —
+// that is their job.
+package fsseam
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Directive is the package marker that activates this analyzer.
+const Directive = "battlint:fsseam"
+
+// Analyzer is the fsseam check.
+var Analyzer = &analysis.Analyzer{
+	Name: "fsseam",
+	Doc:  "//battlint:fsseam packages route filesystem calls through fault.FS, never direct os.*",
+	Run:  run,
+}
+
+// forbidden is the os functions a seam package must not call directly.
+var forbidden = map[string]bool{
+	"Mkdir": true, "MkdirAll": true,
+	"ReadDir": true, "ReadFile": true, "WriteFile": true,
+	"Remove": true, "RemoveAll": true, "Rename": true,
+	"Create": true, "CreateTemp": true, "Open": true, "OpenFile": true,
+	"Chtimes": true, "Truncate": true, "Symlink": true, "Link": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.HasPackageDirective(pass.Files, Directive) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !forbidden[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "os" {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "direct os.%s in an fsseam package bypasses the fault.FS seam — no fault schedule can reach it", sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package fsseam_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/fsseam"
+)
+
+func TestFSSeam(t *testing.T) {
+	analysistest.Run(t, "testdata", fsseam.Analyzer, "a", "b")
+}
+
+// TestSuppression proves the //battlint:allow fsseam in fixture a
+// drops exactly its one finding, with no battlint meta-findings.
+func TestSuppression(t *testing.T) {
+	raw, filtered := analysistest.RunFiltered(t, "testdata", fsseam.Analyzer, "a")
+	if want := len(raw) - 1; len(filtered) != want {
+		t.Errorf("filtered findings = %d, want %d (one suppressed)", len(filtered), want)
+	}
+	for _, f := range filtered {
+		if f.Analyzer == analysis.MetaAnalyzer {
+			t.Errorf("unexpected meta-finding: %v", f)
+		}
+	}
+}

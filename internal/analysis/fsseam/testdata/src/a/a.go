@@ -1,0 +1,45 @@
+//battlint:fsseam
+
+// Package a seeds fault-seam violations: it is marked fsseam, so every
+// filesystem touch must go through an injectable FS, never os directly.
+package a
+
+import (
+	"os"
+	"path/filepath"
+)
+
+func writeEntry(dir, key string, data []byte) error {
+	if err := os.MkdirAll(filepath.Join(dir, key[:2]), 0o777); err != nil { // want `direct os.MkdirAll in an fsseam package`
+		return err
+	}
+	f, err := os.CreateTemp(dir, "entry-*.tmp") // want `direct os.CreateTemp in an fsseam package`
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(f.Name()) // want `direct os.Remove in an fsseam package`
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), filepath.Join(dir, key[:2], key)) // want `direct os.Rename in an fsseam package`
+}
+
+func readEntry(dir, key string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(dir, key[:2], key)) // want `direct os.ReadFile in an fsseam package`
+}
+
+func sweep(dir string) error {
+	//battlint:allow fsseam fixture: a consciously unfaultable cleanup path
+	return os.RemoveAll(dir) // want `direct os.RemoveAll in an fsseam package`
+}
+
+// stat-shaped metadata reads carry no modeled fault surface and stay
+// legal.
+func exists(path string) bool {
+	_, err := os.Stat(path)
+	return !os.IsNotExist(err)
+}

@@ -1,0 +1,13 @@
+// Package b is not marked fsseam: direct os calls are legal here (the
+// fault seam's own production implementation lives in such a package).
+package b
+
+import "os"
+
+func writeThrough(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o666)
+}
+
+func clean(path string) error {
+	return os.Remove(path)
+}

@@ -1,0 +1,181 @@
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Breaker states. String values are what /metrics and /readyz report.
+const (
+	breakerClosed   = "closed"
+	breakerOpen     = "open"
+	breakerHalfOpen = "half-open"
+)
+
+// BreakerConfig tunes the disk circuit breaker. The zero value selects
+// the defaults; Threshold < 0 disables the breaker entirely (every disk
+// error still counts in DiskErrors, but the tier is never bypassed).
+type BreakerConfig struct {
+	// Threshold is how many disk errors within Window trip the breaker
+	// open. 0 means DefaultBreakerThreshold; negative disables.
+	Threshold int
+	// Window is the sliding interval the error count is measured over.
+	// 0 means DefaultBreakerWindow.
+	Window time.Duration
+	// Probe is how long the breaker stays open before admitting a single
+	// half-open probe. 0 means DefaultBreakerProbe.
+	Probe time.Duration
+}
+
+// Default breaker tuning: a healthy disk does not return five errors in
+// thirty seconds, and ten seconds of memory-only operation per probe
+// keeps a flapping disk from burning every request on EIO latency.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerWindow    = 30 * time.Second
+	DefaultBreakerProbe     = 10 * time.Second
+)
+
+// breaker is the disk tier's circuit breaker: closed (disk in use) →
+// open (threshold errors inside the window; disk bypassed entirely) →
+// half-open (after the probe interval, exactly one operation is let
+// through) → closed again on probe success, or back to open on probe
+// failure. It exists so a dying disk degrades the process to
+// memory-only serving instead of dragging every request through EIO
+// timeouts — reads fall back to recomputation, writes are skipped, and
+// the daemon keeps answering.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time // injectable clock for deterministic tests
+
+	mu       sync.Mutex
+	state    string
+	errs     []time.Time // error timestamps inside the window, oldest first
+	openedAt time.Time
+	probing  bool // half-open: the single probe slot is taken
+
+	trips   atomic.Uint64 // times the breaker opened
+	skipped atomic.Uint64 // disk ops bypassed while open
+}
+
+// newBreaker returns a breaker for cfg, or nil when cfg disables it —
+// callers treat a nil breaker as always-closed.
+func newBreaker(cfg BreakerConfig) *breaker {
+	if cfg.Threshold < 0 {
+		return nil
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = DefaultBreakerThreshold
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultBreakerWindow
+	}
+	if cfg.Probe <= 0 {
+		cfg.Probe = DefaultBreakerProbe
+	}
+	return &breaker{cfg: cfg, now: time.Now, state: breakerClosed}
+}
+
+// allow reports whether a disk operation may proceed. In the open state
+// it returns false (and counts the skip) until the probe interval
+// elapses, at which point it transitions to half-open and admits
+// exactly one operation — the probe. Nil receivers always allow.
+func (b *breaker) allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.Probe {
+			b.skipped.Add(1)
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			b.skipped.Add(1)
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// record reports the outcome of an allowed disk operation. A nil err in
+// half-open closes the breaker (the probe succeeded — the disk is
+// back); a non-nil err in half-open reopens it for another probe
+// interval; a non-nil err in closed counts toward the window threshold
+// and trips the breaker when reached.
+func (b *breaker) record(err error) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	switch b.state {
+	case breakerHalfOpen:
+		b.probing = false
+		if err == nil {
+			b.state = breakerClosed
+			b.errs = b.errs[:0]
+			return
+		}
+		b.state = breakerOpen
+		b.openedAt = now
+		b.trips.Add(1)
+	case breakerClosed:
+		if err == nil {
+			return
+		}
+		cutoff := now.Add(-b.cfg.Window)
+		keep := b.errs[:0]
+		for _, t := range b.errs {
+			if t.After(cutoff) {
+				keep = append(keep, t)
+			}
+		}
+		b.errs = append(keep, now)
+		if len(b.errs) >= b.cfg.Threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			b.errs = b.errs[:0]
+			b.trips.Add(1)
+		}
+	default: // open: a straggler from before the trip; nothing to do
+	}
+}
+
+// stateName returns the current state string; nil (disabled) breakers
+// report closed — the disk is always in use.
+func (b *breaker) stateName() string {
+	if b == nil {
+		return breakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// tripCount returns how many times the breaker has opened.
+func (b *breaker) tripCount() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.trips.Load()
+}
+
+// skipCount returns how many disk operations were bypassed while open.
+func (b *breaker) skipCount() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.skipped.Load()
+}

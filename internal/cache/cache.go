@@ -60,6 +60,12 @@ type Cache struct {
 	// inside the single-flight leader, so a slow disk never blocks
 	// memory hits and a key is read from disk at most once per miss.
 	disk *store.Store
+	// brk guards every disk access: when the disk accumulates errors
+	// past the configured threshold, the breaker opens and the cache
+	// degrades to memory-only serving (reads bypassed, writes skipped)
+	// instead of paying EIO latency per request. Nil when disabled or
+	// when there is no disk tier.
+	brk *breaker
 
 	hits      atomic.Uint64
 	misses    atomic.Uint64
@@ -117,6 +123,14 @@ type Stats struct {
 	DiskEvictions uint64 `json:"disk_evictions"`
 	DiskEntries   int    `json:"disk_entries"`
 	DiskBytes     int64  `json:"disk_bytes"`
+	// DiskBreakerState is the disk circuit breaker's current state
+	// (closed|open|half-open; closed when no disk tier is attached),
+	// DiskBreakerOpen counts how many times it has tripped open, and
+	// DiskSkipped counts disk operations bypassed while it was open —
+	// each one a read or write the cache degraded to memory-only.
+	DiskBreakerState string `json:"disk_breaker_state"`
+	DiskBreakerOpen  uint64 `json:"disk_breaker_open"`
+	DiskSkipped      uint64 `json:"disk_skipped"`
 }
 
 // New returns an empty cache bounded at maxEntries results (0 means
@@ -131,18 +145,33 @@ func New(maxEntries int) *Cache {
 // survive a restart of the process that owns disk's directory. A nil
 // disk is exactly New. The disk tier is strictly best-effort — every
 // disk failure degrades to a miss or a skipped write (counted in
-// Stats.DiskErrors), never an error or a wrong result.
+// Stats.DiskErrors), never an error or a wrong result. The default
+// circuit breaker (see BreakerConfig) guards the tier; use NewTiered to
+// tune or disable it.
 func NewWithStore(maxEntries int, disk *store.Store) *Cache {
+	return NewTiered(maxEntries, disk, BreakerConfig{})
+}
+
+// NewTiered is NewWithStore with explicit circuit-breaker tuning: when
+// the disk tier returns bc.Threshold errors within bc.Window, the
+// breaker opens and the cache serves memory-only (disk reads bypassed,
+// writes skipped — both counted in Stats.DiskSkipped) until a half-open
+// probe after bc.Probe succeeds. bc.Threshold < 0 disables the breaker.
+func NewTiered(maxEntries int, disk *store.Store, bc BreakerConfig) *Cache {
 	if maxEntries <= 0 {
 		maxEntries = DefaultMaxEntries
 	}
-	return &Cache{
+	c := &Cache{
 		max:     maxEntries,
 		ll:      list.New(),
 		entries: make(map[string]*list.Element),
 		flights: make(map[string]*flight),
 		disk:    disk,
 	}
+	if disk != nil {
+		c.brk = newBreaker(bc)
+	}
+	return c
 }
 
 // Do returns the cached result for key, computing it with compute on a
@@ -248,20 +277,26 @@ func (c *Cache) DoContext(ctx context.Context, key string, compute func() engine
 	}
 }
 
-// diskGet consults the disk tier; a nil tier is a permanent miss.
+// diskGet consults the disk tier; a nil tier is a permanent miss, and
+// an open breaker bypasses the read — the miss recomputes instead of
+// waiting on a disk already known to be failing.
 func (c *Cache) diskGet(key string) (engine.Result, bool) {
-	if c.disk == nil {
+	if c.disk == nil || !c.brk.allow() {
 		return engine.Result{}, false
 	}
-	return c.disk.Get(key)
+	res, ok, err := c.disk.Get(key)
+	c.brk.record(err)
+	return res, ok
 }
 
 // diskPut writes through to the disk tier, if any. Best-effort: the
-// store counts failures in its Errors counter.
+// store counts failures in its Errors counter, the breaker counts them
+// toward its trip threshold, and an open breaker skips the write.
 func (c *Cache) diskPut(key string, res engine.Result) {
-	if c.disk != nil {
-		c.disk.Put(key, res)
+	if c.disk == nil || !c.brk.allow() {
+		return
 	}
+	c.brk.record(c.disk.Put(key, res))
 }
 
 // Get returns the stored result for key without computing anything.
@@ -310,6 +345,7 @@ func (c *Cache) Stats() Stats {
 		Bypasses:  c.bypasses.Load(),
 		Entries:   c.Len(),
 	}
+	st.DiskBreakerState = c.brk.stateName()
 	if c.disk != nil {
 		ds := c.disk.Stats()
 		st.DiskHits = ds.Hits
@@ -318,9 +354,19 @@ func (c *Cache) Stats() Stats {
 		st.DiskEvictions = ds.Evictions
 		st.DiskEntries = ds.Entries
 		st.DiskBytes = ds.Bytes
+		st.DiskBreakerOpen = c.brk.tripCount()
+		st.DiskSkipped = c.brk.skipCount()
 	}
 	return st
 }
+
+// DiskBreakerState returns the disk circuit breaker's current state
+// (closed|open|half-open) — closed when no disk tier is attached. The
+// server's /readyz reports it per-subsystem.
+func (c *Cache) DiskBreakerState() string { return c.brk.stateName() }
+
+// HasDisk reports whether a disk tier is attached.
+func (c *Cache) HasDisk() bool { return c.disk != nil }
 
 // CloneResult deep-copies the pointer-typed fields of a result so two
 // holders never alias the same Schedule/Idle storage. Err is shared

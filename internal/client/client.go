@@ -1,0 +1,435 @@
+// Package client is the resilient Go client for the battschedd HTTP
+// API: the piece that turns the server's backpressure and fault
+// contracts into something a caller can lean on without writing a retry
+// loop of their own.
+//
+// The retry discipline:
+//
+//   - Only idempotent operations retry. Every one of this API's calls
+//     is idempotent by construction — a job's identity is the SHA-256
+//     content address of its canonical request, so resubmitting the
+//     same job coalesces onto the same computation server-side, and
+//     GET/DELETE are idempotent by HTTP semantics. A client for a
+//     different API should not copy this blanket policy; it is earned
+//     by the content addressing, not assumed.
+//   - Transport errors (connection refused/reset — the shape of a
+//     crashed or restarting server) and 429/503 rejections retry with
+//     capped exponential backoff. A Retry-After header, when present,
+//     is honored as the floor of the wait: the server knows its drain
+//     and queue state better than any client-side guess.
+//   - Backoff jitter is deterministic — an FNV-1a hash of (key,
+//     attempt) spreads concurrent clients apart without a PRNG, the
+//     same no-randomness discipline as the rest of the repository, so
+//     a failing run replays exactly.
+//   - Deadlines propagate: every request carries the caller's context,
+//     and backoff sleeps abort the moment the context dies. The context
+//     is the total budget across all attempts.
+//   - 4xx responses other than 429 (and 404 where noted) never retry:
+//     the request itself is wrong, and the same bytes will fail the
+//     same way.
+//
+// Do is the high-level entry: submit async, poll with the same backoff
+// discipline until terminal, and — because a job can finish and age out
+// of the server's retention window between polls — resubmit on 404,
+// which the content-addressed ID makes safe (the resubmission coalesces
+// or replays deterministically; Stats.Resubmits counts how often).
+//
+//battlint:deterministic
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Config tunes a Client. The zero value (plus a BaseURL) is usable.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080". Required.
+	BaseURL string
+	// HTTPClient performs the requests; nil means http.DefaultClient.
+	// Fault tests inject a fault.Transport here.
+	HTTPClient *http.Client
+	// MaxAttempts bounds tries per logical call (first try + retries);
+	// 0 means DefaultMaxAttempts. The caller's context deadline is the
+	// other bound — whichever ends first.
+	MaxAttempts int
+	// BaseBackoff is the first retry's nominal wait; 0 means
+	// DefaultBaseBackoff. Attempt k waits min(BaseBackoff<<k, MaxBackoff)
+	// scaled by the deterministic jitter, or Retry-After when larger.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth; 0 means DefaultMaxBackoff.
+	MaxBackoff time.Duration
+	// PollInterval is Do's initial result-poll cadence; 0 means
+	// DefaultPollInterval. Polling backs off exponentially to MaxBackoff.
+	PollInterval time.Duration
+}
+
+// Client defaults: four attempts ride out a restart without stretching
+// a genuinely-down server past ~1s of waiting; 100ms–5s spans the gap
+// between a queue-full blip and a drain.
+const (
+	DefaultMaxAttempts  = 4
+	DefaultBaseBackoff  = 100 * time.Millisecond
+	DefaultMaxBackoff   = 5 * time.Second
+	DefaultPollInterval = 20 * time.Millisecond
+)
+
+// Stats counts what the client absorbed so harnesses can prove the
+// resilience was exercised, not just survived.
+type Stats struct {
+	// Attempts counts every HTTP request sent, including retries.
+	Attempts uint64 `json:"attempts"`
+	// Retries counts requests that were re-sent after a retryable
+	// failure (transport error, 429, 503).
+	Retries uint64 `json:"retries"`
+	// RetryAfter counts retries whose wait honored a server Retry-After
+	// header rather than the client's own backoff.
+	RetryAfter uint64 `json:"retry_after_honored"`
+	// Resubmits counts Do re-submissions after a poll 404 (the job aged
+	// out of retention between polls).
+	Resubmits uint64 `json:"resubmits"`
+}
+
+// Client is a resilient battschedd API client. Safe for concurrent use.
+type Client struct {
+	cfg Config
+
+	attempts   atomic.Uint64
+	retries    atomic.Uint64
+	retryAfter atomic.Uint64
+	resubmits  atomic.Uint64
+}
+
+// New builds a client; Config.BaseURL must be set.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("client: Config.BaseURL is required")
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = DefaultMaxAttempts
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = DefaultBaseBackoff
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = DefaultMaxBackoff
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = DefaultPollInterval
+	}
+	return &Client{cfg: cfg}, nil
+}
+
+// Stats snapshots the resilience counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Attempts:   c.attempts.Load(),
+		Retries:    c.retries.Load(),
+		RetryAfter: c.retryAfter.Load(),
+		Resubmits:  c.resubmits.Load(),
+	}
+}
+
+// StatusError is a non-retryable (or retries-exhausted) HTTP failure:
+// the status code plus the server's error envelope.
+type StatusError struct {
+	Code int
+	Msg  string
+	// Body is the raw response body — some failure statuses (422) carry
+	// a full result payload, not just an error envelope.
+	Body []byte
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.Code, e.Msg)
+}
+
+// retryable reports whether a response status is worth another attempt.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// jitter maps (key, attempt) to a deterministic factor in [0.5, 1.0):
+// enough spread to de-synchronize a fleet of clients retrying the same
+// moment, with no PRNG — the same inputs always wait the same time.
+func jitter(key string, attempt int) float64 {
+	h := fnv.New64a()
+	io.WriteString(h, key)
+	fmt.Fprintf(h, "#%d", attempt)
+	return 0.5 + float64(h.Sum64()%1024)/2048
+}
+
+// backoff computes attempt's wait (0-based: the wait before attempt+1).
+func (c *Client) backoff(key string, attempt int) time.Duration {
+	d := c.cfg.BaseBackoff << attempt
+	if d > c.cfg.MaxBackoff || d <= 0 { // <<'s overflow guard
+		d = c.cfg.MaxBackoff
+	}
+	return time.Duration(float64(d) * jitter(key, attempt))
+}
+
+// sleep waits for d or the context, whichever ends first.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryAfterOf parses a Retry-After header (seconds form) from resp;
+// 0 when absent or unparsable.
+func retryAfterOf(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	s, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || s <= 0 {
+		return 0
+	}
+	return time.Duration(s) * time.Second
+}
+
+// doRetry performs one logical call: up to MaxAttempts requests with
+// backoff between them, honoring Retry-After, bounded by ctx. body may
+// be nil (GET/DELETE); key seeds the deterministic jitter — callers
+// pass the job's content address or the resource id, so identical
+// retried work backs off identically. On success the decoded JSON body
+// lands in out (when non-nil). Non-retryable statuses return a
+// *StatusError immediately.
+func (c *Client) doRetry(ctx context.Context, method, path, key string, body []byte, out any) error {
+	httpc := c.cfg.HTTPClient
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+		}
+		// After the last attempt there is no retry to pace, so its
+		// failure exits immediately — no sleep, no Retry-After honor.
+		last := attempt == c.cfg.MaxAttempts-1
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, rd)
+		if err != nil {
+			return fmt.Errorf("client: %w", err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		c.attempts.Add(1)
+		resp, err := httpc.Do(req)
+		if err != nil {
+			// Transport-level failure: the shape of a dead, restarting
+			// or fault-injected server. Retry unless the caller's
+			// context is the reason.
+			if ctx.Err() != nil {
+				return fmt.Errorf("client: %w", ctx.Err())
+			}
+			lastErr = fmt.Errorf("client: %w", err)
+			if last {
+				continue
+			}
+			if serr := sleep(ctx, c.backoff(key, attempt)); serr != nil {
+				return fmt.Errorf("client: %w", serr)
+			}
+			continue
+		}
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			lastErr = fmt.Errorf("client: reading response: %w", rerr)
+			if last {
+				continue
+			}
+			if serr := sleep(ctx, c.backoff(key, attempt)); serr != nil {
+				return fmt.Errorf("client: %w", serr)
+			}
+			continue
+		}
+		if retryable(resp.StatusCode) {
+			lastErr = &StatusError{Code: resp.StatusCode, Msg: errorMsg(data), Body: data}
+			if last {
+				continue
+			}
+			wait := c.backoff(key, attempt)
+			if ra := retryAfterOf(resp); ra > 0 {
+				c.retryAfter.Add(1)
+				if ra > wait {
+					wait = ra
+				}
+			}
+			if serr := sleep(ctx, wait); serr != nil {
+				return fmt.Errorf("client: %w", serr)
+			}
+			continue
+		}
+		if resp.StatusCode >= 400 {
+			return &StatusError{Code: resp.StatusCode, Msg: errorMsg(data), Body: data}
+		}
+		if out != nil {
+			if err := json.Unmarshal(data, out); err != nil {
+				return fmt.Errorf("client: decoding %s response: %w", path, err)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("client: %d attempts exhausted: %w", c.cfg.MaxAttempts, lastErr)
+}
+
+// errorMsg extracts the server's {"error": ...} envelope, falling back
+// to the raw body.
+func errorMsg(data []byte) string {
+	var env struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &env) == nil && env.Error != "" {
+		return env.Error
+	}
+	return string(data)
+}
+
+// jobKey derives the deterministic jitter key for a job: the canonical
+// JSON bytes stand in for the content address (the server computes the
+// true SHA-256 ID; equal jobs get equal keys either way, which is all
+// the jitter needs).
+func jobKey(body []byte) string { return string(body) }
+
+// Schedule runs one job synchronously: POST /v1/schedule with the full
+// retry discipline. Safe to retry because scheduling is deterministic
+// and content-addressed — a replayed request returns the identical
+// result (usually from cache).
+func (c *Client) Schedule(ctx context.Context, job wire.Job) (wire.Result, error) {
+	body, err := json.Marshal(job)
+	if err != nil {
+		return wire.Result{}, fmt.Errorf("client: %w", err)
+	}
+	var res wire.Result
+	// A scheduling failure (infeasible deadline, …) arrives as 422 with
+	// a result body; treat it as a result, not an error.
+	err = c.doRetry(ctx, http.MethodPost, "/v1/schedule", jobKey(body), body, &res)
+	var se *StatusError
+	if errors.As(err, &se) && se.Code == http.StatusUnprocessableEntity {
+		if jerr := json.Unmarshal(se.Body, &res); jerr == nil {
+			return res, nil
+		}
+	}
+	return res, err
+}
+
+// Submit enqueues one async job: POST /v1/jobs with retry. The returned
+// status carries the job's content-addressed ID for polling.
+func (c *Client) Submit(ctx context.Context, job wire.Job) (wire.JobStatus, error) {
+	body, err := json.Marshal(job)
+	if err != nil {
+		return wire.JobStatus{}, fmt.Errorf("client: %w", err)
+	}
+	var st wire.JobStatus
+	err = c.doRetry(ctx, http.MethodPost, "/v1/jobs", jobKey(body), body, &st)
+	return st, err
+}
+
+// Status polls one job: GET /v1/jobs/{id} with retry. A 404 (unknown or
+// aged-out job) returns a *StatusError with Code 404; Do turns that
+// into a resubmission.
+func (c *Client) Status(ctx context.Context, id string) (wire.JobStatus, error) {
+	var st wire.JobStatus
+	err := c.doRetry(ctx, http.MethodGet, "/v1/jobs/"+id, id, nil, &st)
+	return st, err
+}
+
+// Abort cancels one job: DELETE /v1/jobs/{id} with retry (idempotent —
+// aborting a terminal job reports its state unchanged).
+func (c *Client) Abort(ctx context.Context, id string) (wire.JobStatus, error) {
+	var st wire.JobStatus
+	err := c.doRetry(ctx, http.MethodDelete, "/v1/jobs/"+id, id, nil, &st)
+	return st, err
+}
+
+// Ready fetches the readiness verdict: GET /readyz. No retry beyond the
+// standard discipline — note a draining server answers 503, which
+// doRetry will wait out; callers probing state should bound ctx.
+func (c *Client) Ready(ctx context.Context) (wire.Ready, error) {
+	var rep wire.Ready
+	err := c.doRetry(ctx, http.MethodGet, "/readyz", "readyz", nil, &rep)
+	// A draining server's 503 still carries the verdict body.
+	var se *StatusError
+	if errors.As(err, &se) && se.Code == http.StatusServiceUnavailable {
+		if jerr := json.Unmarshal(se.Body, &rep); jerr == nil && rep.Status != "" {
+			return rep, nil
+		}
+	}
+	return rep, err
+}
+
+// IsNotFound reports whether err is a 404 StatusError.
+func IsNotFound(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == http.StatusNotFound
+}
+
+// Do runs one job end to end through the async API: submit, poll until
+// terminal, return the result line the stream endpoint would have
+// produced. Survives everything the retry discipline covers, plus the
+// two async-specific hazards: a job that ages out of retention between
+// polls is resubmitted (content addressing makes that safe and cheap —
+// the server answers from cache), and expired/aborted terminals are
+// returned as their retryable wire codes for the caller to decide.
+func (c *Client) Do(ctx context.Context, job wire.Job) (wire.Result, error) {
+	st, err := c.Submit(ctx, job)
+	if err != nil {
+		return wire.Result{}, err
+	}
+	poll := c.cfg.PollInterval
+	for {
+		switch st.State {
+		case wire.StateDone:
+			if st.Result == nil {
+				return wire.Result{}, fmt.Errorf("client: job %s done without result", st.ID)
+			}
+			res := *st.Result
+			res.Name = job.Name
+			return res, nil
+		case wire.StateExpired:
+			return wire.Result{Name: job.Name, Error: st.Error, Code: wire.CodeExpired}, nil
+		case wire.StateAborted:
+			return wire.Result{Name: job.Name, Error: st.Error, Code: wire.CodeAborted}, nil
+		}
+		if err := sleep(ctx, poll); err != nil {
+			return wire.Result{}, fmt.Errorf("client: %w", err)
+		}
+		if poll *= 2; poll > c.cfg.MaxBackoff {
+			poll = c.cfg.MaxBackoff
+		}
+		next, err := c.Status(ctx, st.ID)
+		if IsNotFound(err) {
+			// Finished and pruned between polls (or lost to a restart
+			// with no persistent queue). The ID is the content address,
+			// so resubmitting coalesces or replays — never double-runs.
+			c.resubmits.Add(1)
+			next, err = c.Submit(ctx, job)
+		}
+		if err != nil {
+			return wire.Result{}, err
+		}
+		st = next
+	}
+}

@@ -1,0 +1,332 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// newRealServer spins up the actual battschedd serving stack.
+func newRealServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	s := server.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
+	return s, ts
+}
+
+func newClient(t *testing.T, cfg Config) *Client {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// fastBackoff keeps test retries in the milliseconds.
+func fastBackoff(base string, httpc *http.Client) Config {
+	return Config{
+		BaseURL:     base,
+		HTTPClient:  httpc,
+		MaxAttempts: 5,
+		BaseBackoff: 2 * time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+	}
+}
+
+func testJob() wire.Job {
+	return wire.Job{Fixture: "g3", Deadline: 230, Strategy: "iterative"}
+}
+
+func TestJitterDeterministic(t *testing.T) {
+	for attempt := 0; attempt < 5; attempt++ {
+		a := jitter("somekey", attempt)
+		b := jitter("somekey", attempt)
+		if a != b {
+			t.Fatalf("jitter(somekey,%d) varies: %v vs %v", attempt, a, b)
+		}
+		if a < 0.5 || a >= 1.0 {
+			t.Fatalf("jitter(somekey,%d) = %v, want [0.5,1.0)", attempt, a)
+		}
+	}
+	if jitter("a", 0) == jitter("b", 0) && jitter("a", 1) == jitter("b", 1) {
+		t.Error("jitter does not spread across keys")
+	}
+}
+
+// TestScheduleRetriesTransportFault: a connection-reset-shaped failure
+// on the first attempt is absorbed; the second attempt answers.
+func TestScheduleRetriesTransportFault(t *testing.T) {
+	_, ts := newRealServer(t, server.Config{})
+	in := fault.NewInjector(fault.OS,
+		fault.Rule{Op: fault.OpRoundTrip, Nth: 1, Err: syscall.ECONNRESET})
+	c := newClient(t, fastBackoff(ts.URL, &http.Client{Transport: &fault.Transport{Injector: in}}))
+
+	res, err := c.Schedule(context.Background(), testJob())
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if res.Error != "" || len(res.Order) == 0 {
+		t.Fatalf("result: %+v", res)
+	}
+	st := c.Stats()
+	if st.Retries != 1 || st.Attempts != 2 {
+		t.Errorf("stats = %+v, want 1 retry / 2 attempts", st)
+	}
+}
+
+// TestScheduleRetries503And429: synthesized backpressure responses with
+// Retry-After are retried and the header honored (counted).
+func TestScheduleRetries503And429(t *testing.T) {
+	_, ts := newRealServer(t, server.Config{})
+	in := fault.NewInjector(fault.OS,
+		fault.Rule{Op: fault.OpRoundTrip, Nth: 1, Status: 503},
+		fault.Rule{Op: fault.OpRoundTrip, Nth: 2, Status: 429})
+	c := newClient(t, fastBackoff(ts.URL, &http.Client{Transport: &fault.Transport{Injector: in}}))
+
+	start := time.Now()
+	res, err := c.Schedule(context.Background(), testJob())
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if len(res.Order) == 0 {
+		t.Fatalf("result: %+v", res)
+	}
+	st := c.Stats()
+	if st.Retries != 2 {
+		t.Errorf("retries = %d, want 2", st.Retries)
+	}
+	if st.RetryAfter != 2 {
+		t.Errorf("retry_after_honored = %d, want 2", st.RetryAfter)
+	}
+	// The injected Retry-After is 1s and must floor the wait: two
+	// honored headers mean >= 2s of waiting.
+	if d := time.Since(start); d < 2*time.Second {
+		t.Errorf("call took %v, want >= 2s (Retry-After floors the backoff)", d)
+	}
+}
+
+// TestNoRetryOn400: a malformed request fails once, immediately.
+func TestNoRetryOn400(t *testing.T) {
+	_, ts := newRealServer(t, server.Config{})
+	c := newClient(t, fastBackoff(ts.URL, nil))
+
+	_, err := c.Schedule(context.Background(), wire.Job{Fixture: "no-such-fixture", Deadline: 1, Strategy: "iterative"})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want StatusError 400", err)
+	}
+	if st := c.Stats(); st.Attempts != 1 || st.Retries != 0 {
+		t.Errorf("stats = %+v, want exactly one attempt", st)
+	}
+}
+
+// TestSchedule422IsResult: a deterministic scheduling failure (422)
+// comes back as a result with an error field, not a client error, and
+// is never retried (it would fail identically).
+func TestSchedule422IsResult(t *testing.T) {
+	_, ts := newRealServer(t, server.Config{})
+	c := newClient(t, fastBackoff(ts.URL, nil))
+
+	res, err := c.Schedule(context.Background(), wire.Job{Fixture: "g3", Deadline: 1, Strategy: "iterative"})
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if res.Error == "" {
+		t.Fatalf("infeasible deadline produced no error: %+v", res)
+	}
+	if st := c.Stats(); st.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (422 is deterministic)", st.Attempts)
+	}
+}
+
+// TestDoEndToEnd: the async path against the real server.
+func TestDoEndToEnd(t *testing.T) {
+	_, ts := newRealServer(t, server.Config{})
+	c := newClient(t, fastBackoff(ts.URL, nil))
+
+	res, err := c.Do(context.Background(), testJob())
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if res.Error != "" || len(res.Order) == 0 {
+		t.Fatalf("result: %+v", res)
+	}
+
+	// Same job again: content addressing means the server answers from
+	// its retained terminal (or cache) — still exactly one result.
+	res2, err := c.Do(context.Background(), testJob())
+	if err != nil {
+		t.Fatalf("Do (repeat): %v", err)
+	}
+	a, _ := json.Marshal(res)
+	b, _ := json.Marshal(res2)
+	if string(a) != string(b) {
+		t.Fatalf("repeat result differs:\n%s\n%s", a, b)
+	}
+}
+
+// TestDoResubmitsOn404: a job that ages out of retention between polls
+// is resubmitted under its content address instead of failing.
+func TestDoResubmitsOn404(t *testing.T) {
+	var polls atomic.Int64
+	result := wire.Result{Index: 0, Cost: 42, Order: []int{0}, Assignment: map[int]int{0: 0}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		st := wire.JobStatus{ID: "a1b2", State: wire.StateQueued}
+		if polls.Load() > 0 { // the resubmission: answer terminal
+			st.State = wire.StateDone
+			st.Result = &result
+			w.WriteHeader(http.StatusOK)
+		} else {
+			w.WriteHeader(http.StatusAccepted)
+		}
+		json.NewEncoder(w).Encode(st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		polls.Add(1) // every poll: the job has aged out
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]string{"error": "unknown job id"})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := newClient(t, fastBackoff(ts.URL, nil))
+	res, err := c.Do(context.Background(), testJob())
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if res.Cost != 42 {
+		t.Fatalf("result: %+v", res)
+	}
+	if st := c.Stats(); st.Resubmits != 1 {
+		t.Errorf("resubmits = %d, want 1", st.Resubmits)
+	}
+}
+
+// TestDrainRejectionsRetryAndExhaust: a draining server answers 503 +
+// Retry-After everywhere; the client retries (honoring the header
+// absent a healthy replica to land on) and surfaces the 503 once
+// attempts exhaust — never hangs, never mislabels it permanent.
+func TestDrainRejectionsRetryAndExhaust(t *testing.T) {
+	srv, ts := newRealServer(t, server.Config{RetryAfter: 1})
+	srv.Close()
+
+	c := newClient(t, Config{
+		BaseURL:     ts.URL,
+		MaxAttempts: 2,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+	})
+	_, err := c.Submit(context.Background(), testJob())
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want wrapped 503", err)
+	}
+	st := c.Stats()
+	if st.Attempts != 2 || st.Retries != 1 {
+		t.Errorf("stats = %+v, want 2 attempts / 1 retry", st)
+	}
+	if st.RetryAfter != 1 {
+		t.Errorf("retry_after_honored = %d, want 1 (drain 503 carries the header)", st.RetryAfter)
+	}
+}
+
+// TestReadyAgainstDrain: the readiness probe decodes the draining
+// verdict out of the 503 body.
+func TestReadyAgainstDrain(t *testing.T) {
+	srv, ts := newRealServer(t, server.Config{})
+	c := newClient(t, Config{BaseURL: ts.URL, MaxAttempts: 1})
+
+	rep, err := c.Ready(context.Background())
+	if err != nil || rep.Status != wire.ReadyOK {
+		t.Fatalf("healthy Ready: %+v, %v", rep, err)
+	}
+
+	srv.Close()
+	rep, err = c.Ready(context.Background())
+	if err != nil || rep.Status != wire.ReadyDraining {
+		t.Fatalf("draining Ready: %+v, %v", rep, err)
+	}
+}
+
+// TestDeadlinePropagation: a latency fault longer than the caller's
+// deadline aborts the call at the deadline, not after the full wait.
+func TestDeadlinePropagation(t *testing.T) {
+	_, ts := newRealServer(t, server.Config{})
+	in := fault.NewInjector(fault.OS,
+		fault.Rule{Op: fault.OpRoundTrip, Every: 1, Delay: 2 * time.Second})
+	c := newClient(t, fastBackoff(ts.URL, &http.Client{Transport: &fault.Transport{Injector: in}}))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Schedule(ctx, testJob())
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("call took %v, want ~50ms (deadline must cut the injected delay short)", d)
+	}
+}
+
+// TestQueueFullRetryAfter: the real server's 429 (queue full) carries
+// Retry-After and the client honors it — the async-submit leg of the
+// Retry-After sweep.
+func TestQueueFullRetryAfter(t *testing.T) {
+	// Workers=1 + a queue of 1: one slow multistart occupies the lone
+	// worker, one fills the lone queue slot, then distinct submissions
+	// start bouncing with 429.
+	_, ts := newRealServer(t, server.Config{
+		Workers: 1, QueueWorkers: 1, MaxQueued: 1, RetryAfter: 1,
+	})
+	c := newClient(t, Config{BaseURL: ts.URL, MaxAttempts: 1})
+
+	slow := func(seed int) wire.Job {
+		return wire.Job{Fixture: "g3", Deadline: 230, Strategy: "multistart", Restarts: 4000, Seed: int64(seed)}
+	}
+	var got429 bool
+	for i := 1; i < 12 && !got429; i++ {
+		_, err := c.Submit(context.Background(), slow(i))
+		var se *StatusError
+		if errors.As(err, &se) {
+			if se.Code != http.StatusTooManyRequests {
+				t.Fatalf("submit %d: err = %v, want 429", i, err)
+			}
+			got429 = true
+		} else if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if !got429 {
+		t.Fatal("queue of capacity 1 accepted 11 slow submissions without a 429")
+	}
+
+	// The queue is full right now; a retrying client's first attempt
+	// bounces and the wait must honor the server's Retry-After: 1 floor
+	// (the client's own backoff here is single-digit milliseconds).
+	c2 := newClient(t, Config{BaseURL: ts.URL, MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	start := time.Now()
+	c2.Submit(context.Background(), slow(99))
+	if st := c2.Stats(); st.RetryAfter != 1 {
+		t.Errorf("retry_after_honored = %d, want 1 (429 carries the header)", st.RetryAfter)
+	}
+	if d := time.Since(start); d < time.Second {
+		t.Errorf("retried 429 took %v, want >= 1s (honoring Retry-After: 1)", d)
+	}
+}

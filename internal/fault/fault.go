@@ -1,0 +1,104 @@
+// Package fault is the repository's deterministic fault-injection
+// layer: the seams through which I/O reaches the outside world, plus an
+// injector that makes those seams fail on a reproducible schedule.
+//
+// A fleet's steady state is partial failure — disks return EIO and
+// ENOSPC mid-write, writes tear at arbitrary byte offsets, processes
+// die between rename and directory sync — so the serving stack treats
+// I/O faults as ordinary inputs with defined, tested behavior. That is
+// only testable if faults can be produced on demand and reproduced
+// bit-for-bit, which rules out probability-based chaos: everything here
+// is counter- and stride-driven (fail the Nth op, fail every k-th op),
+// the same no-PRNG discipline as internal/loadgen.
+//
+// Two seams:
+//
+//   - FS: the filesystem operations internal/store performs. The store
+//     is written against this interface; production passes OS (the real
+//     filesystem), tests pass an *Injector wrapping it.
+//   - Transport: an http.RoundTripper wrapper for client-side testing —
+//     fail the Nth request, synthesize a 503, add latency.
+//
+// Injected errors unwrap to the real errno (syscall.EIO, syscall.ENOSPC)
+// so code under test cannot tell them from the disk's own, and they all
+// wrap ErrInjected so harnesses can count what they caused.
+//
+//battlint:deterministic
+package fault
+
+import (
+	"io/fs"
+	"os"
+	"time"
+)
+
+// File is the writable-file surface the store needs from CreateTemp:
+// write, durability, close, and the name to rename from.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS is the filesystem seam: every operation internal/store performs on
+// its directory tree, and nothing more. Implementations must be safe
+// for concurrent use (the real filesystem is; injectors serialize their
+// schedule internally).
+type FS interface {
+	// MkdirAll creates a directory path, like os.MkdirAll.
+	MkdirAll(path string, perm fs.FileMode) error
+	// ReadDir lists a directory, like os.ReadDir.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// ReadFile reads a whole file, like os.ReadFile.
+	ReadFile(name string) ([]byte, error)
+	// Remove deletes a file, like os.Remove.
+	Remove(name string) error
+	// Rename atomically replaces newpath with oldpath, like os.Rename.
+	Rename(oldpath, newpath string) error
+	// CreateTemp creates a unique temp file in dir, like os.CreateTemp.
+	CreateTemp(dir, pattern string) (File, error)
+	// Chtimes sets a file's access and modification times, like
+	// os.Chtimes.
+	Chtimes(name string, atime, mtime time.Time) error
+	// SyncDir fsyncs a directory, making the entries it holds (renames
+	// into it, removals from it) durable. There is no os.SyncDir; the
+	// real implementation opens the directory and calls Fsync on it —
+	// the step POSIX requires between "the rename returned" and "the
+	// rename survives a power cut".
+	SyncDir(name string) error
+}
+
+// OS is the real filesystem: the production FS every seam defaults to.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Chtimes(name string, a, m time.Time) error    { return os.Chtimes(name, a, m) }
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// SyncDir opens the directory read-only and fsyncs it. Platforms where
+// directory fsync is unsupported surface their error to the caller,
+// which treats durability failures as counted, degradable events.
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,71 @@
+// The HTTP round-trip fault seam: a wrapping http.RoundTripper driven
+// by the same deterministic schedule as the FS seam, for testing the
+// resilient client (internal/client) against transport failures,
+// synthesized 429/503 backpressure and latency — without a server that
+// actually misbehaves.
+package fault
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Transport is an http.RoundTripper that fires OpRoundTrip rules before
+// delegating to Base. Rules with Err fail the request at the transport
+// layer (the shape of a connection reset or a died server); rules with
+// Status synthesize a complete HTTP response with that code — 429 and
+// 503 carry a "Retry-After: 1" header, matching the server's
+// backpressure contract — without the request ever leaving the process.
+type Transport struct {
+	// Base performs the non-injected round trips; nil means
+	// http.DefaultTransport.
+	Base http.RoundTripper
+	// Injector drives the schedule; it may be shared with an FS seam
+	// (the counters are per-op, so HTTP and disk schedules do not
+	// interfere). Required.
+	Injector *Injector
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	out := t.Injector.step(OpRoundTrip)
+	if out.delay > 0 {
+		// Wait context-aware: a request deadline must cut an injected
+		// latency short, exactly as it would a real slow network.
+		timer := time.NewTimer(out.delay)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, fmt.Errorf("fault: injected delay interrupted: %w", req.Context().Err())
+		case <-timer.C:
+		}
+	}
+	if out.err != nil {
+		return nil, out.err
+	}
+	if out.status != 0 {
+		resp := &http.Response{
+			StatusCode: out.status,
+			Status:     http.StatusText(out.status),
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1,
+			ProtoMinor: 1,
+			Header:     make(http.Header),
+			Body:       io.NopCloser(strings.NewReader(`{"error":"fault: injected backpressure"}`)),
+			Request:    req,
+		}
+		if out.status == http.StatusTooManyRequests || out.status == http.StatusServiceUnavailable {
+			resp.Header.Set("Retry-After", "1")
+		}
+		resp.Header.Set("Content-Type", "application/json")
+		return resp, nil
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}

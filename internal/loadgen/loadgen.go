@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/wire"
 )
 
@@ -79,6 +80,26 @@ type Config struct {
 	// (terminal polls are lookups) and on by default in battload's
 	// assert mode; leave false for pure-throughput measurement.
 	VerifyTerminal bool
+	// VerifyBytes records each done job's result JSON keyed by job ID
+	// and counts any later observation of the same ID whose bytes differ
+	// — the determinism half of the serving contract. Duplicate
+	// submissions (DupEvery) and chaos-driven resubmissions both
+	// re-observe IDs, so this is what proves "byte-identical results"
+	// under faults rather than assuming it.
+	VerifyBytes bool
+	// Resilient routes submissions and polls through internal/client's
+	// retrying Client instead of raw HTTP: transport errors (a killed or
+	// restarting server) and 429/503 rejections are absorbed with capped
+	// deterministic backoff, and a job that vanishes mid-poll (a restart
+	// wiped the in-memory queue) is resubmitted under its content
+	// address. This is the mode chaos runs use — the contract should
+	// hold through faults *because* the client is resilient.
+	Resilient bool
+	// ResilientAttempts / ResilientBackoff tune the embedded client
+	// (defaults 8 attempts from 50ms: ~6s of cumulative patience, enough
+	// to ride out a SIGKILL + restart).
+	ResilientAttempts int
+	ResilientBackoff  time.Duration
 	// NewJob builds the i-th submission (0-based). Required. See
 	// JobSpec for the standard deterministic generator.
 	NewJob func(i int) wire.Job
@@ -105,6 +126,10 @@ type runState struct {
 	lost           atomic.Int64 // accepted but no terminal state observed — the invariant violation
 	doubleTerminal atomic.Int64 // terminal state changed after first observation — the other violation
 	polls          atomic.Int64 // GET /v1/jobs/{id} requests issued
+	resubmits      atomic.Int64 // resilient-mode resubmissions after a poll 404
+
+	byteMismatch atomic.Int64 // same job ID observed with differing result bytes
+	results      sync.Map     // job ID -> first observed result JSON (VerifyBytes)
 }
 
 // Run executes one load run and reports. The error is only for
@@ -132,13 +157,35 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.MaxPollInterval < cfg.PollInterval {
 		cfg.MaxPollInterval = 25 * cfg.PollInterval
 	}
-	client := cfg.Client
-	if client == nil {
-		client = &http.Client{Transport: &http.Transport{
+	httpc := cfg.Client
+	if httpc == nil {
+		httpc = &http.Client{Transport: &http.Transport{
 			MaxIdleConns:        2 * cfg.Concurrency,
 			MaxIdleConnsPerHost: 2 * cfg.Concurrency,
 			IdleConnTimeout:     30 * time.Second,
 		}}
+	}
+
+	var rc *client.Client
+	if cfg.Resilient {
+		attempts := cfg.ResilientAttempts
+		if attempts <= 0 {
+			attempts = 8
+		}
+		backoff := cfg.ResilientBackoff
+		if backoff <= 0 {
+			backoff = 50 * time.Millisecond
+		}
+		var err error
+		rc, err = client.New(client.Config{
+			BaseURL:     cfg.BaseURL,
+			HTTPClient:  httpc,
+			MaxAttempts: attempts,
+			BaseBackoff: backoff,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: %w", err)
+		}
 	}
 
 	st := &runState{}
@@ -173,7 +220,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 					st.unsent.Add(1)
 					continue
 				}
-				runOne(ctx, client, cfg, st, i)
+				runOne(ctx, httpc, rc, cfg, st, i)
 			}
 		}()
 	}
@@ -199,10 +246,16 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		Aborted:        st.aborted.Load(),
 		Lost:           st.lost.Load(),
 		DoubleTerminal: st.doubleTerminal.Load(),
+		ByteMismatch:   st.byteMismatch.Load(),
+		Resubmits:      st.resubmits.Load(),
 		Polls:          st.polls.Load(),
 		Submit:         st.submit.Summary(),
 		Poll:           st.poll.Summary(),
 		E2E:            st.e2e.Summary(),
+	}
+	if rc != nil {
+		cs := rc.Stats()
+		res.Client = &cs
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		res.ThroughputJPS = float64(res.Done) / secs
@@ -239,16 +292,20 @@ func pacer(ctx context.Context, rate float64, out chan<- struct{}) {
 }
 
 // runOne drives one submission through its whole lifecycle.
-func runOne(ctx context.Context, client *http.Client, cfg Config, st *runState, i int) {
+func runOne(ctx context.Context, httpc *http.Client, rc *client.Client, cfg Config, st *runState, i int) {
 	st.attempted.Add(1)
 	job := cfg.NewJob(i)
+	if rc != nil {
+		runOneResilient(ctx, rc, cfg, st, job)
+		return
+	}
 	body, err := json.Marshal(job)
 	if err != nil {
 		st.errorsFinal.Add(1)
 		return
 	}
 	begin := time.Now()
-	status, ok := submit(ctx, client, cfg, st, body)
+	status, ok := submit(ctx, httpc, cfg, st, body)
 	if !ok {
 		return // accounting already done
 	}
@@ -258,21 +315,104 @@ func runOne(ctx context.Context, client *http.Client, cfg Config, st *runState, 
 		// Answered from retention (or raced to done): the submit round
 		// trip was the whole journey.
 		st.e2e.Observe(time.Since(begin))
-		recordTerminal(ctx, client, cfg, st, status.ID, status.State, status.Result)
+		recordTerminal(ctx, rawStatus(httpc, cfg, st), cfg, st, status.ID, status.State, status.Result)
 		return
 	}
 	switch cfg.Mode {
 	case ModeStream:
-		streamOne(ctx, client, cfg, st, status.ID, begin)
+		streamOne(ctx, httpc, cfg, st, status.ID, begin)
 	default:
-		pollOne(ctx, client, cfg, st, status.ID, begin)
+		pollOne(ctx, httpc, cfg, st, status.ID, begin)
+	}
+}
+
+// runOneResilient is runOne on top of internal/client: the retrying
+// client absorbs transport faults and backpressure; this loop only has
+// to handle what retries cannot — a job ID the server no longer knows,
+// which the content address makes safe to resubmit.
+func runOneResilient(ctx context.Context, rc *client.Client, cfg Config, st *runState, job wire.Job) {
+	begin := time.Now()
+	t0 := time.Now()
+	status, err := rc.Submit(ctx, job)
+	if err != nil {
+		var se *client.StatusError
+		switch {
+		case errors.As(err, &se) && se.Code == http.StatusTooManyRequests:
+			st.rejected.Add(1)
+			st.rejectedFinal.Add(1)
+		case errors.As(err, &se) && se.Code == http.StatusServiceUnavailable:
+			st.unavailable.Add(1)
+			st.rejectedFinal.Add(1)
+		default:
+			st.errorsFinal.Add(1)
+		}
+		return
+	}
+	st.submit.Observe(time.Since(t0))
+	st.accepted.Add(1)
+
+	sf := resilientStatus(rc)
+	if terminalState(status.State) {
+		st.e2e.Observe(time.Since(begin))
+		recordTerminal(ctx, sf, cfg, st, status.ID, status.State, status.Result)
+		return
+	}
+	interval := cfg.PollInterval
+	for {
+		if !sleepCtx(ctx, interval) {
+			st.lost.Add(1)
+			return
+		}
+		p0 := time.Now()
+		next, err := rc.Status(ctx, status.ID)
+		st.polls.Add(1)
+		st.poll.Observe(time.Since(p0))
+		if client.IsNotFound(err) {
+			// The server forgot the job: a restart wiped the in-memory
+			// queue, or retention aged the terminal out between polls.
+			// Resubmitting under the content address coalesces or
+			// replays — never double-runs.
+			st.resubmits.Add(1)
+			next, err = rc.Submit(ctx, job)
+		}
+		if err != nil {
+			// Retries are already spent inside the client; a submission
+			// that still cannot reach the server is lost from where this
+			// client stands.
+			st.lost.Add(1)
+			return
+		}
+		if terminalState(next.State) {
+			st.e2e.Observe(time.Since(begin))
+			recordTerminal(ctx, sf, cfg, st, status.ID, next.State, next.Result)
+			return
+		}
+		if interval = interval * 3 / 2; interval > cfg.MaxPollInterval {
+			interval = cfg.MaxPollInterval
+		}
+	}
+}
+
+// resilientStatus adapts the retrying client to the statusFunc shape
+// recordTerminal's verification poll wants.
+func resilientStatus(rc *client.Client) statusFunc {
+	return func(ctx context.Context, id string) (wire.JobStatus, int, error) {
+		status, err := rc.Status(ctx, id)
+		if err != nil {
+			var se *client.StatusError
+			if errors.As(err, &se) {
+				return status, se.Code, nil
+			}
+			return status, 0, err
+		}
+		return status, http.StatusOK, nil
 	}
 }
 
 // submit POSTs the job until accepted, retrying backpressure rejections
 // unless configured not to. ok=false means the submission ended here
 // (already accounted).
-func submit(ctx context.Context, client *http.Client, cfg Config, st *runState, body []byte) (wire.JobStatus, bool) {
+func submit(ctx context.Context, httpc *http.Client, cfg Config, st *runState, body []byte) (wire.JobStatus, bool) {
 	url := strings.TrimRight(cfg.BaseURL, "/") + "/v1/jobs"
 	for {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
@@ -282,7 +422,7 @@ func submit(ctx context.Context, client *http.Client, cfg Config, st *runState, 
 		}
 		req.Header.Set("Content-Type", "application/json")
 		t0 := time.Now()
-		resp, err := client.Do(req)
+		resp, err := httpc.Do(req)
 		if err != nil {
 			st.errorsFinal.Add(1)
 			return wire.JobStatus{}, false
@@ -345,14 +485,14 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 }
 
 // pollOne polls the job until a terminal state, with backoff.
-func pollOne(ctx context.Context, client *http.Client, cfg Config, st *runState, id string, begin time.Time) {
+func pollOne(ctx context.Context, httpc *http.Client, cfg Config, st *runState, id string, begin time.Time) {
 	interval := cfg.PollInterval
 	for {
 		if !sleepCtx(ctx, interval) {
 			st.lost.Add(1)
 			return
 		}
-		status, code, err := getStatus(ctx, client, cfg, st, id)
+		status, code, err := getStatus(ctx, httpc, cfg, st, id)
 		if err != nil || code == http.StatusNotFound {
 			// A job the server no longer knows (or a transport failure
 			// that outlives one retry-at-next-interval) is a lost job
@@ -363,7 +503,7 @@ func pollOne(ctx context.Context, client *http.Client, cfg Config, st *runState,
 			}
 		} else if terminalState(status.State) {
 			st.e2e.Observe(time.Since(begin))
-			recordTerminal(ctx, client, cfg, st, id, status.State, status.Result)
+			recordTerminal(ctx, rawStatus(httpc, cfg, st), cfg, st, id, status.State, status.Result)
 			return
 		}
 		if interval = interval * 3 / 2; interval > cfg.MaxPollInterval {
@@ -373,14 +513,14 @@ func pollOne(ctx context.Context, client *http.Client, cfg Config, st *runState,
 }
 
 // getStatus is one poll round trip.
-func getStatus(ctx context.Context, client *http.Client, cfg Config, st *runState, id string) (wire.JobStatus, int, error) {
+func getStatus(ctx context.Context, httpc *http.Client, cfg Config, st *runState, id string) (wire.JobStatus, int, error) {
 	url := strings.TrimRight(cfg.BaseURL, "/") + "/v1/jobs/" + id
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return wire.JobStatus{}, 0, err
 	}
 	t0 := time.Now()
-	resp, err := client.Do(req)
+	resp, err := httpc.Do(req)
 	if err != nil {
 		return wire.JobStatus{}, 0, err
 	}
@@ -400,14 +540,14 @@ func getStatus(ctx context.Context, client *http.Client, cfg Config, st *runStat
 
 // streamOne blocks on the job's stream endpoint until its single
 // terminal line arrives. More than one line is a double completion.
-func streamOne(ctx context.Context, client *http.Client, cfg Config, st *runState, id string, begin time.Time) {
+func streamOne(ctx context.Context, httpc *http.Client, cfg Config, st *runState, id string, begin time.Time) {
 	url := strings.TrimRight(cfg.BaseURL, "/") + "/v1/jobs/" + id + "/stream"
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		st.lost.Add(1)
 		return
 	}
-	resp, err := client.Do(req)
+	resp, err := httpc.Do(req)
 	if err != nil {
 		st.lost.Add(1)
 		return
@@ -453,18 +593,41 @@ func streamOne(ctx context.Context, client *http.Client, cfg Config, st *runStat
 	if state == wire.StateDone {
 		res = &line
 	}
-	recordTerminal(ctx, client, cfg, st, id, state, res)
+	recordTerminal(ctx, rawStatus(httpc, cfg, st), cfg, st, id, state, res)
+}
+
+// statusFunc is one status lookup: the raw poll or the resilient
+// client's, so recordTerminal's verification re-poll works in both
+// modes.
+type statusFunc func(ctx context.Context, id string) (wire.JobStatus, int, error)
+
+// rawStatus adapts getStatus to the statusFunc shape.
+func rawStatus(httpc *http.Client, cfg Config, st *runState) statusFunc {
+	return func(ctx context.Context, id string) (wire.JobStatus, int, error) {
+		return getStatus(ctx, httpc, cfg, st, id)
+	}
 }
 
 // recordTerminal counts a terminal observation and, when verification
 // is on, confirms the state held: a job observed done must still be
-// done one poll later — anything else is a second completion.
-func recordTerminal(ctx context.Context, client *http.Client, cfg Config, st *runState, id, state string, res *wire.Result) {
+// done one poll later — anything else is a second completion. With
+// VerifyBytes it also pins the result bytes per job ID: a second
+// observation of the same ID (a duplicate submission, a chaos
+// resubmission) must carry byte-identical JSON.
+func recordTerminal(ctx context.Context, sf statusFunc, cfg Config, st *runState, id, state string, res *wire.Result) {
 	switch state {
 	case wire.StateDone:
 		st.done.Add(1)
 		if res != nil && res.Error != "" {
 			st.doneWithError.Add(1)
+		}
+		if cfg.VerifyBytes && res != nil {
+			b, err := json.Marshal(res)
+			if err == nil {
+				if prev, loaded := st.results.LoadOrStore(id, string(b)); loaded && prev.(string) != string(b) {
+					st.byteMismatch.Add(1)
+				}
+			}
 		}
 	case wire.StateExpired:
 		st.expired.Add(1)
@@ -477,7 +640,7 @@ func recordTerminal(ctx context.Context, client *http.Client, cfg Config, st *ru
 	if !cfg.VerifyTerminal {
 		return
 	}
-	again, code, err := getStatus(ctx, client, cfg, st, id)
+	again, code, err := sf(ctx, id)
 	if err != nil || code != http.StatusOK {
 		return // retention pruning or shutdown; absence is not a second state
 	}

@@ -2,11 +2,14 @@ package loadgen
 
 import (
 	"context"
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/server"
 	"repro/internal/wire"
 )
@@ -134,6 +137,45 @@ func TestRunBackpressure(t *testing.T) {
 	}
 	if got := res.Accepted + res.RejectedFinal + res.Errors; got != res.Attempted {
 		t.Fatalf("submission accounting leaks: attempted=%d but accepted+rejectedFinal+errors=%d", res.Attempted, got)
+	}
+}
+
+// TestRunResilientThroughFaults: with the retrying client underneath,
+// a run whose transport periodically resets connections and injects a
+// synthesized 503 still completes every job, byte-identically — the
+// chaos-mode contract in miniature.
+func TestRunResilientThroughFaults(t *testing.T) {
+	base := newTarget(t, server.Config{})
+	in := fault.NewInjector(fault.OS,
+		fault.Rule{Op: fault.OpRoundTrip, Every: 9, Err: syscall.ECONNRESET},
+		fault.Rule{Op: fault.OpRoundTrip, Nth: 5, Status: 503})
+	spec := baseSpec()
+	spec.DupEvery = 4 // duplicate IDs so VerifyBytes has re-observations
+	res, err := Run(context.Background(), Config{
+		BaseURL:          base,
+		Client:           &http.Client{Transport: &fault.Transport{Injector: in}},
+		Jobs:             60,
+		Concurrency:      12,
+		Resilient:        true,
+		ResilientBackoff: time.Millisecond,
+		VerifyTerminal:   true,
+		VerifyBytes:      true,
+		NewJob:           spec.Job,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Done != 60 || res.Lost != 0 || res.ByteMismatch != 0 {
+		t.Fatalf("done=%d lost=%d byteMismatch=%d, want 60/0/0", res.Done, res.Lost, res.ByteMismatch)
+	}
+	if in.Injected() == 0 {
+		t.Fatal("no faults injected — the chaos leg tested nothing")
+	}
+	if res.Client == nil || res.Client.Retries == 0 {
+		t.Fatalf("client stats = %+v, want retries > 0 (faults were absorbed, not avoided)", res.Client)
 	}
 }
 

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"repro/internal/client"
 )
 
 // Result is the outcome of one load run at one concurrency level.
@@ -36,9 +38,16 @@ type Result struct {
 	Expired       int64 `json:"expired,omitempty"`
 	Aborted       int64 `json:"aborted,omitempty"`
 
-	// The two invariant violations a correct server never produces.
+	// The invariant violations a correct server never produces.
+	// ByteMismatch is only counted when Config.VerifyBytes is on: two
+	// observations of the same job ID whose result JSON differs.
 	Lost           int64 `json:"lost"`
 	DoubleTerminal int64 `json:"double_terminal"`
+	ByteMismatch   int64 `json:"byte_mismatch"`
+
+	// Resubmits counts resilient-mode re-submissions after the server
+	// forgot a job ID (restart or retention ageout).
+	Resubmits int64 `json:"resubmits,omitempty"`
 
 	Polls         int64   `json:"polls,omitempty"`
 	ThroughputJPS float64 `json:"throughput_jobs_per_sec"`
@@ -46,6 +55,11 @@ type Result struct {
 	Submit LatencySummary `json:"submit"`
 	Poll   LatencySummary `json:"poll"`
 	E2E    LatencySummary `json:"e2e"`
+
+	// Client carries the resilient client's own counters (attempts,
+	// retries, Retry-After honors) when the run was Resilient — the
+	// proof the resilience was exercised, not just configured.
+	Client *client.Stats `json:"client,omitempty"`
 
 	// Violations lists failed SLO clauses (empty/omitted when the run
 	// had no SLO or passed it).
@@ -62,6 +76,9 @@ func (r *Result) Verify() error {
 	}
 	if r.DoubleTerminal > 0 {
 		probs = append(probs, fmt.Sprintf("%d double completion(s) (terminal state changed after first observation)", r.DoubleTerminal))
+	}
+	if r.ByteMismatch > 0 {
+		probs = append(probs, fmt.Sprintf("%d byte-divergent result(s) (same job ID, different result JSON)", r.ByteMismatch))
 	}
 	if got := r.Done + r.Expired + r.Aborted + r.Lost; got != r.Accepted {
 		probs = append(probs, fmt.Sprintf("terminal accounting mismatch: accepted %d but done+expired+aborted+lost = %d", r.Accepted, got))

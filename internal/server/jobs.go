@@ -257,7 +257,12 @@ func (s *Server) decodeJobsBatch(w http.ResponseWriter, r *http.Request) ([]batc
 		snap, status, serr := s.submitJob(wjobs[i], ejobs[i])
 		if serr != nil {
 			slots[i].err = serr
-			rejected = rejected || status == http.StatusTooManyRequests
+			// Both transient rejections earn the Retry-After hint: 429
+			// (queue full) and 503 (draining — retry lands on a healthy
+			// replica). Leaving 503 out taught resilient clients that a
+			// drain rejection was permanent.
+			rejected = rejected || status == http.StatusTooManyRequests ||
+				status == http.StatusServiceUnavailable
 			continue
 		}
 		slots[i].id = snap.ID

@@ -104,6 +104,13 @@ type Config struct {
 	// RetryAfter is the Retry-After hint (in seconds) sent with 429
 	// queue-full and 503 capacity rejections; 0 means 1 second.
 	RetryAfter int
+	// DiskBreaker tunes the disk tier's circuit breaker (cmd/battschedd's
+	// -disk-breaker-* flags): when the store returns Threshold errors
+	// within Window, the cache degrades to memory-only serving until a
+	// half-open probe after Probe succeeds. The zero value selects the
+	// cache package defaults; Threshold < 0 disables the breaker. Ignored
+	// without a CacheStore.
+	DiskBreaker cache.BreakerConfig
 	// DefaultBattery, when non-nil, is the battery spec applied to jobs
 	// that select no battery of their own (neither a "battery" object
 	// nor a "beta" shorthand) — cmd/battschedd's -battery flag. It must
@@ -139,6 +146,7 @@ type metrics struct {
 	batch    atomic.Uint64 // POST /v1/batch requests
 	fixtures atomic.Uint64 // GET /v1/fixtures requests
 	health   atomic.Uint64 // GET /healthz requests
+	ready    atomic.Uint64 // GET /readyz requests
 	metrics  atomic.Uint64 // GET /metrics requests
 	jobsAPI  atomic.Uint64 // /v1/jobs* async-API requests, all verbs
 	errors   atomic.Uint64 // responses with status >= 400
@@ -204,7 +212,7 @@ func New(cfg Config) *Server {
 	}
 	s.metrics.modelKinds = make([]atomic.Uint64, len(specKinds))
 	if cfg.CacheEntries >= 0 {
-		s.cache = cache.NewWithStore(cfg.CacheEntries, cfg.CacheStore)
+		s.cache = cache.NewTiered(cfg.CacheEntries, cfg.CacheStore, cfg.DiskBreaker)
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -297,6 +305,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
 	mux.HandleFunc("GET /v1/fixtures", s.handleFixtures)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.accessLog(mux)
 }
@@ -467,6 +476,66 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// draining reports whether Close has been called.
+func (s *Server) draining() bool {
+	select {
+	case <-s.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// Ready computes the readiness verdict /readyz serves: "draining" once
+// Close has been called (stop routing traffic here), "degraded" while
+// the disk circuit breaker is not closed (the process serves, memory-
+// only), "ok" otherwise — each with per-subsystem detail.
+func (s *Server) Ready() wire.Ready {
+	rep := wire.Ready{
+		Status:     wire.ReadyOK,
+		Subsystems: make(map[string]wire.ReadySubsystem),
+	}
+
+	disk := wire.ReadySubsystem{Status: wire.ReadyDisabled, Detail: "no disk tier attached"}
+	if s.cache != nil && s.cache.HasDisk() {
+		switch state := s.cache.DiskBreakerState(); state {
+		case "closed":
+			disk = wire.ReadySubsystem{Status: wire.ReadyOK}
+		default: // open or half-open: the disk is out of rotation
+			disk = wire.ReadySubsystem{
+				Status: wire.ReadyDegraded,
+				Detail: "disk circuit breaker " + state + "; serving memory-only",
+			}
+			rep.Status = wire.ReadyDegraded
+		}
+	}
+	rep.Subsystems["disk"] = disk
+
+	queueSub := wire.ReadySubsystem{Status: wire.ReadyOK}
+	if s.draining() {
+		queueSub = wire.ReadySubsystem{Status: wire.ReadyDraining, Detail: "shutdown in progress; queue closed"}
+		rep.Status = wire.ReadyDraining
+	}
+	rep.Subsystems["queue"] = queueSub
+
+	return rep
+}
+
+// handleReadyz serves the readiness probe: 200 for ok/degraded (the
+// process accepts traffic either way — degraded only means the disk
+// tier is bypassed), 503 + Retry-After for draining, so load balancers
+// and orchestration pull the instance before its listener goes away.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.metrics.ready.Add(1)
+	rep := s.Ready()
+	w.Header().Set("Content-Type", "application/json")
+	if rep.Status == wire.ReadyDraining {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(rep)
+}
+
 // MetricsSnapshot is the /metrics response body.
 type MetricsSnapshot struct {
 	UptimeSeconds float64           `json:"uptime_seconds"`
@@ -504,6 +573,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 			"jobs":     s.metrics.jobsAPI.Load(),
 			"fixtures": s.metrics.fixtures.Load(),
 			"healthz":  s.metrics.health.Load(),
+			"readyz":   s.metrics.ready.Load(),
 			"metrics":  s.metrics.metrics.Load(),
 		},
 		ErrorCount:    s.metrics.errors.Load(),

@@ -119,7 +119,7 @@ func TestGetDiscardsCorruptFile(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if _, ok := s.Get(key(0)); ok {
+	if _, ok, _ := s.Get(key(0)); ok {
 		t.Fatal("corrupt entry served as a hit")
 	}
 	st := s.Stats()
@@ -133,7 +133,7 @@ func TestGetDiscardsCorruptFile(t *testing.T) {
 	if err := s.Put(key(0), fullResult()); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s.Get(key(0)); !ok {
+	if _, ok, _ := s.Get(key(0)); !ok {
 		t.Fatal("rewrite after discard missed")
 	}
 }
@@ -171,7 +171,7 @@ func TestScanSkipsCorruptFiles(t *testing.T) {
 		t.Fatalf("scan: %+v, want 2 entries / 2 corrupt", rep)
 	}
 	for _, k := range []string{key(0), key(2)} {
-		if _, ok := s2.Get(k); !ok {
+		if _, ok, _ := s2.Get(k); !ok {
 			t.Fatalf("intact entry %s lost in scan", k)
 		}
 	}
@@ -194,7 +194,7 @@ func TestConcurrentReadDuringEvict(t *testing.T) {
 	if err := s.Put(hot, small); err != nil {
 		t.Fatal(err)
 	}
-	want, _ := s.Get(hot)
+	want, _, _ := s.Get(hot)
 
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
@@ -208,7 +208,7 @@ func TestConcurrentReadDuringEvict(t *testing.T) {
 					return
 				default:
 				}
-				if got, ok := s.Get(hot); ok && !resultsEqual(got, want) {
+				if got, ok, _ := s.Get(hot); ok && !resultsEqual(got, want) {
 					t.Errorf("wrong result under eviction: %+v", got)
 					return
 				}

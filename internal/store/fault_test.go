@@ -1,0 +1,274 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func mustOpenFS(t *testing.T, dir string, maxBytes int64, fsys fault.FS) (*Store, ScanReport) {
+	t.Helper()
+	s, rep, err := OpenFS(dir, maxBytes, fsys)
+	if err != nil {
+		t.Fatalf("OpenFS(%s): %v", dir, err)
+	}
+	return s, rep
+}
+
+// TestPutSyncsDirectory is the crash-durability regression test: every
+// Put must fsync the temp file AND the parent directory after the
+// rename — POSIX does not make a rename durable until the directory is
+// synced. Counted through the fault seam, where a regression is a
+// number, not an opinion.
+func TestPutSyncsDirectory(t *testing.T) {
+	in := fault.NewInjector(fault.OS)
+	s, _ := mustOpenFS(t, t.TempDir(), 0, in)
+
+	if err := s.Put(key(0), fullResult()); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Count(fault.OpSync); got != 1 {
+		t.Errorf("file syncs after one Put = %d, want 1", got)
+	}
+	if got := in.Count(fault.OpSyncDir); got != 1 {
+		t.Errorf("directory syncs after one Put = %d, want 1 (rename durability)", got)
+	}
+
+	if err := s.Put(key(1), fullResult()); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Count(fault.OpSyncDir); got != 2 {
+		t.Errorf("directory syncs after two Puts = %d, want 2", got)
+	}
+}
+
+// TestPutDirSyncFailure: a failed directory fsync is a counted,
+// returned error, but the entry — durable or not, it is readable in
+// this boot — still serves.
+func TestPutDirSyncFailure(t *testing.T) {
+	in := fault.NewInjector(fault.OS,
+		fault.Rule{Op: fault.OpSyncDir, Nth: 1, Err: syscall.EIO})
+	s, _ := mustOpenFS(t, t.TempDir(), 0, in)
+
+	err := s.Put(key(0), fullResult())
+	if !errors.Is(err, syscall.EIO) || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Put with failing dir sync: want injected EIO, got %v", err)
+	}
+	if got := s.Stats().Errors; got != 1 {
+		t.Errorf("Stats.Errors = %d, want 1", got)
+	}
+	if _, ok, err := s.Get(key(0)); !ok || err != nil {
+		t.Errorf("entry unreadable after dir-sync failure: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestPutFaults: EIO on write, sync, and rename each fail the Put
+// cleanly — error returned, counted, no tmp leftover, nothing served.
+func TestPutFaults(t *testing.T) {
+	cases := []fault.Rule{
+		{Op: fault.OpWrite, Nth: 1, Err: syscall.EIO},
+		{Op: fault.OpSync, Nth: 1, Err: syscall.ENOSPC},
+		{Op: fault.OpRename, Nth: 1, Err: syscall.EIO},
+	}
+	for _, rule := range cases {
+		t.Run(string(rule.Op), func(t *testing.T) {
+			dir := t.TempDir()
+			in := fault.NewInjector(fault.OS, rule)
+			s, _ := mustOpenFS(t, dir, 0, in)
+
+			if err := s.Put(key(0), fullResult()); !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("Put: want injected error, got %v", err)
+			}
+			if got := s.Stats().Errors; got != 1 {
+				t.Errorf("Stats.Errors = %d, want 1", got)
+			}
+			if _, ok, _ := s.Get(key(0)); ok {
+				t.Error("failed Put produced a servable entry")
+			}
+			if n := countTmp(t, dir); n != 0 {
+				t.Errorf("%d tmp leftovers after failed Put, want 0 (cleanup path)", n)
+			}
+			// The store recovers: the schedule is spent, the next Put lands.
+			if err := s.Put(key(0), fullResult()); err != nil {
+				t.Fatalf("Put after fault: %v", err)
+			}
+			if _, ok, err := s.Get(key(0)); !ok || err != nil {
+				t.Errorf("Get after recovery: ok=%v err=%v", ok, err)
+			}
+		})
+	}
+}
+
+// TestCrashBetweenCreateTempAndRename: when the process dies after
+// CreateTemp but before Rename (simulated by a Rename fault plus a
+// Remove fault killing the cleanup — the on-disk state a SIGKILL
+// leaves), the next Open sweeps the tmp file, counts it in TmpSwept,
+// and never serves it.
+func TestCrashBetweenCreateTempAndRename(t *testing.T) {
+	dir := t.TempDir()
+	in := fault.NewInjector(fault.OS,
+		fault.Rule{Op: fault.OpRename, Nth: 1, Err: syscall.EIO},
+		fault.Rule{Op: fault.OpRemove, Nth: 1, Err: syscall.EIO})
+	s, _ := mustOpenFS(t, dir, 0, in)
+
+	if err := s.Put(key(0), fullResult()); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Put: want injected error, got %v", err)
+	}
+	if n := countTmp(t, dir); n != 1 {
+		t.Fatalf("%d tmp files after simulated crash, want 1", n)
+	}
+
+	s2, rep := mustOpen(t, dir, 0)
+	if rep.TmpSwept != 1 {
+		t.Errorf("reopen ScanReport.TmpSwept = %d, want 1", rep.TmpSwept)
+	}
+	if rep.Entries != 0 {
+		t.Errorf("reopen found %d entries, want 0 — a tmp file must never be served", rep.Entries)
+	}
+	if n := countTmp(t, dir); n != 0 {
+		t.Errorf("%d tmp files survive the sweep, want 0", n)
+	}
+	if _, ok, _ := s2.Get(key(0)); ok {
+		t.Error("Get served a key whose Put never renamed")
+	}
+}
+
+// TestTornWriteNeverServed: a write torn at byte K (the fault layer's
+// crash-shaped artifact) fails the Put; even if the torn bytes had
+// reached the entry path, the CRC header means they decode to a miss,
+// not a wrong result. Here the tear hits the tmp file, Put reports it,
+// and nothing is served.
+func TestTornWriteNeverServed(t *testing.T) {
+	dir := t.TempDir()
+	in := fault.NewInjector(fault.OS,
+		fault.Rule{Op: fault.OpWrite, Nth: 1, Torn: true, TruncateAt: 10},
+		fault.Rule{Op: fault.OpRemove, Nth: 1, Err: syscall.EIO}) // cleanup dies too
+	s, _ := mustOpenFS(t, dir, 0, in)
+
+	if err := s.Put(key(0), fullResult()); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("torn Put: want EIO, got %v", err)
+	}
+	// The torn tmp file is on disk; reopen sweeps it.
+	if n := countTmp(t, dir); n != 1 {
+		t.Fatalf("%d tmp files, want 1", n)
+	}
+	_, rep := mustOpen(t, dir, 0)
+	if rep.TmpSwept != 1 || rep.Entries != 0 {
+		t.Errorf("reopen after torn write: %+v, want TmpSwept=1 Entries=0", rep)
+	}
+}
+
+// TestEvictionSyncsDirectories: evictions fsync the fanout directories
+// they removed from, same durability bar as writes.
+func TestEvictionSyncsDirectories(t *testing.T) {
+	in := fault.NewInjector(fault.OS)
+	entryBytes := int64(len(encodeEntry(fullResult())))
+	// Budget for exactly 2 entries; the 3rd Put evicts the oldest.
+	s, _ := mustOpenFS(t, t.TempDir(), 2*entryBytes, in)
+
+	for i := 0; i < 2; i++ {
+		if err := s.Put(key(i), fullResult()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := in.Count(fault.OpSyncDir)
+	if err := s.Put(key(2), fullResult()); err != nil {
+		t.Fatal(err)
+	}
+	// The 3rd Put syncs its own dir once, plus the evicted entry's dir.
+	if got := in.Count(fault.OpSyncDir) - before; got != 2 {
+		t.Errorf("directory syncs for an evicting Put = %d, want 2 (write dir + evicted dir)", got)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d after eviction, want 2", s.Len())
+	}
+}
+
+// TestENOSPCDuringEviction: a full disk failing the eviction's Remove
+// cannot wedge the store — the entry leaves the index (the budget is an
+// accounting bound), the error is counted, and the Put that triggered
+// the eviction still lands.
+func TestENOSPCDuringEviction(t *testing.T) {
+	dir := t.TempDir()
+	in := fault.NewInjector(fault.OS,
+		fault.Rule{Op: fault.OpRemove, Nth: 1, Err: syscall.ENOSPC})
+	entryBytes := int64(len(encodeEntry(fullResult())))
+	s, _ := mustOpenFS(t, dir, 2*entryBytes, in)
+
+	for i := 0; i < 2; i++ {
+		if err := s.Put(key(i), fullResult()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put(key(2), fullResult()); err != nil {
+		t.Fatalf("Put with ENOSPC eviction: %v (eviction failure must not fail the write)", err)
+	}
+	if got := s.Stats().Errors; got != 1 {
+		t.Errorf("Stats.Errors = %d, want 1 (the failed Remove)", got)
+	}
+	// Index accounting holds the budget even though the file remains.
+	if s.Len() != 2 || s.Bytes() > 2*entryBytes {
+		t.Errorf("after failed-Remove eviction: Len=%d Bytes=%d, want 2 entries within budget", s.Len(), s.Bytes())
+	}
+	if _, ok, err := s.Get(key(2)); !ok || err != nil {
+		t.Errorf("the triggering Put is not servable: ok=%v err=%v", ok, err)
+	}
+	// The orphaned file the Remove left behind is re-adopted or swept by
+	// the next Open — either way the reopened population is consistent.
+	s2, rep := mustOpen(t, dir, 0)
+	if rep.Corrupt != 0 {
+		t.Errorf("reopen after failed eviction: %d corrupt, want 0", rep.Corrupt)
+	}
+	if s2.Len() != rep.Entries {
+		t.Errorf("reopen index (%d) disagrees with scan (%d)", s2.Len(), rep.Entries)
+	}
+}
+
+// TestReadFaultCountsError: an EIO on Get's read is a miss with a
+// non-nil error — the signal the cache's breaker feeds on — while a
+// clean miss keeps err nil.
+func TestReadFaultCountsError(t *testing.T) {
+	in := fault.NewInjector(fault.OS,
+		fault.Rule{Op: fault.OpReadFile, Nth: 2, Err: syscall.EIO})
+	s, _ := mustOpenFS(t, t.TempDir(), 0, in)
+
+	if _, ok, err := s.Get(key(9)); ok || err != nil {
+		t.Fatalf("clean miss: ok=%v err=%v, want false,nil", ok, err)
+	}
+	if err := s.Put(key(0), fullResult()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(key(0)); ok || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("faulted Get: ok=%v err=%v, want false,EIO", ok, err)
+	}
+	if _, ok, err := s.Get(key(0)); !ok || err != nil {
+		t.Fatalf("Get after fault: ok=%v err=%v, want true,nil", ok, err)
+	}
+	if got := s.Stats().Errors; got != 1 {
+		t.Errorf("Stats.Errors = %d, want 1", got)
+	}
+}
+
+// countTmp counts *.tmp files anywhere under dir.
+func countTmp(t *testing.T, dir string) int {
+	t.Helper()
+	n := 0
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".tmp") {
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}

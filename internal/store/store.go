@@ -31,13 +31,13 @@
 // missed key and zero lock-held IO.
 //
 //battlint:deterministic
+//battlint:fsseam
 package store
 
 import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 )
 
 // DefaultMaxBytes bounds a store opened with maxBytes 0: 1 GiB holds
@@ -59,6 +60,7 @@ const DefaultMaxBytes = 1 << 30
 type Store struct {
 	dir      string
 	maxBytes int64
+	fsys     fault.FS
 
 	// mu guards the index and size accounting — never file IO.
 	mu    sync.Mutex
@@ -109,6 +111,10 @@ type ScanReport struct {
 	// population exceeded the byte budget (e.g. the store was reopened
 	// with a smaller bound).
 	Evicted int
+	// TmpSwept counts crash leftovers — tmp files a Put never got to
+	// rename — deleted by the scan. A crash between CreateTemp and
+	// Rename leaves exactly one of these; it is never served.
+	TmpSwept int
 }
 
 // Open opens (creating if needed) the store rooted at dir, scans it to
@@ -116,15 +122,23 @@ type ScanReport struct {
 // entries, and enforces the byte budget over what survived. maxBytes 0
 // means DefaultMaxBytes; negative means unbounded.
 func Open(dir string, maxBytes int64) (*Store, ScanReport, error) {
+	return OpenFS(dir, maxBytes, fault.OS)
+}
+
+// OpenFS is Open against an explicit filesystem seam — the injection
+// point for fault testing. Production callers use Open (the real
+// filesystem); chaos harnesses pass a *fault.Injector.
+func OpenFS(dir string, maxBytes int64, fsys fault.FS) (*Store, ScanReport, error) {
 	if maxBytes == 0 {
 		maxBytes = DefaultMaxBytes
 	}
-	if err := os.MkdirAll(dir, 0o777); err != nil {
+	if err := fsys.MkdirAll(dir, 0o777); err != nil {
 		return nil, ScanReport{}, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{
 		dir:      dir,
 		maxBytes: maxBytes,
+		fsys:     fsys,
 		index:    make(map[string]entryInfo),
 	}
 	rep, err := s.scan()
@@ -144,7 +158,7 @@ func Open(dir string, maxBytes int64) (*Store, ScanReport, error) {
 // population it might not be able to serve.
 func (s *Store) scan() (ScanReport, error) {
 	var rep ScanReport
-	subdirs, err := os.ReadDir(s.dir)
+	subdirs, err := s.fsys.ReadDir(s.dir)
 	if err != nil {
 		return rep, fmt.Errorf("store: scan: %w", err)
 	}
@@ -152,7 +166,7 @@ func (s *Store) scan() (ScanReport, error) {
 		if !sub.IsDir() || !validFanout(sub.Name()) {
 			continue // not ours; leave it alone
 		}
-		files, err := os.ReadDir(filepath.Join(s.dir, sub.Name()))
+		files, err := s.fsys.ReadDir(filepath.Join(s.dir, sub.Name()))
 		if err != nil {
 			return rep, fmt.Errorf("store: scan: %w", err)
 		}
@@ -162,18 +176,21 @@ func (s *Store) scan() (ScanReport, error) {
 			if f.IsDir() || !ok || !validKey(key) || key[:2] != sub.Name() {
 				// Tmp leftovers from a crash mid-Put, misplaced or
 				// foreign files: sweep them so they cannot accumulate.
-				os.Remove(path)
+				if strings.HasSuffix(f.Name(), ".tmp") {
+					rep.TmpSwept++
+				}
+				s.fsys.Remove(path)
 				continue
 			}
-			data, err := os.ReadFile(path)
+			data, err := s.fsys.ReadFile(path)
 			if err != nil {
 				rep.Corrupt++
-				os.Remove(path)
+				s.fsys.Remove(path)
 				continue
 			}
 			if _, err := decodeEntry(data); err != nil {
 				rep.Corrupt++
-				os.Remove(path)
+				s.fsys.Remove(path)
 				continue
 			}
 			info, err := f.Info()
@@ -221,34 +238,38 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key[:2], key+entrySuffix)
 }
 
-// Get returns the stored result for key and whether a valid entry was
-// found. A corrupt entry is deleted and reported as a miss (and counted
-// in Errors); a hit refreshes the entry's mtime so the byte-budget
-// eviction approximates LRU. The returned result aliases nothing — every
-// Get decodes a fresh copy.
-func (s *Store) Get(key string) (engine.Result, bool) {
+// Get returns the stored result for key, whether a valid entry was
+// found, and the disk error if one occurred. A clean miss (no entry) is
+// (zero, false, nil); an IO failure or a corrupt entry is (zero, false,
+// err) — the error return is what the cache's disk circuit breaker
+// counts. A corrupt entry is deleted and reported as a miss (and
+// counted in Errors); a hit refreshes the entry's mtime so the
+// byte-budget eviction approximates LRU. The returned result aliases
+// nothing — every Get decodes a fresh copy.
+func (s *Store) Get(key string) (engine.Result, bool, error) {
 	if !validKey(key) {
 		s.misses.Add(1)
-		return engine.Result{}, false
+		return engine.Result{}, false, nil
 	}
 	path := s.path(key)
-	data, err := os.ReadFile(path)
+	data, err := s.fsys.ReadFile(path)
 	if err != nil {
-		if !errors.Is(err, fs.ErrNotExist) {
-			s.errs.Add(1)
-		}
 		s.misses.Add(1)
-		return engine.Result{}, false
+		if errors.Is(err, fs.ErrNotExist) {
+			return engine.Result{}, false, nil
+		}
+		s.errs.Add(1)
+		return engine.Result{}, false, fmt.Errorf("store: %w", err)
 	}
 	res, err := decodeEntry(data)
 	if err != nil {
 		s.discard(key, path)
 		s.errs.Add(1)
 		s.misses.Add(1)
-		return engine.Result{}, false
+		return engine.Result{}, false, fmt.Errorf("store: %w", err)
 	}
 	now := time.Now()
-	os.Chtimes(path, now, now) // best-effort recency for eviction
+	s.fsys.Chtimes(path, now, now) // best-effort recency for eviction
 	s.mu.Lock()
 	if e, ok := s.index[key]; ok {
 		e.mtime = now
@@ -256,12 +277,12 @@ func (s *Store) Get(key string) (engine.Result, bool) {
 	}
 	s.mu.Unlock()
 	s.hits.Add(1)
-	return res, true
+	return res, true, nil
 }
 
 // discard removes a corrupt entry file and its index accounting.
 func (s *Store) discard(key, path string) {
-	os.Remove(path)
+	s.fsys.Remove(path)
 	s.mu.Lock()
 	if e, ok := s.index[key]; ok {
 		s.size -= e.size
@@ -272,7 +293,8 @@ func (s *Store) discard(key, path string) {
 
 // Put stores the canonical result under key, atomically: the entry is
 // fully written and fsynced to a tmp file in the target directory, then
-// renamed into place, so a crash at any instant leaves either the old
+// renamed into place, and the directory is fsynced so the rename itself
+// survives a power cut — a crash at any instant leaves either the old
 // entry, the new entry, or a tmp file the next Open sweeps — never a
 // torn entry. An entry larger than the whole byte budget is skipped
 // (storing it would evict everything else for a single key). Errors are
@@ -287,28 +309,37 @@ func (s *Store) Put(key string, res engine.Result) error {
 		return nil
 	}
 	dir := filepath.Join(s.dir, key[:2])
-	if err := os.MkdirAll(dir, 0o777); err != nil {
+	if err := s.fsys.MkdirAll(dir, 0o777); err != nil {
 		s.errs.Add(1)
 		return fmt.Errorf("store: %w", err)
 	}
-	tmp, err := os.CreateTemp(dir, "put-*.tmp")
+	tmp, err := s.fsys.CreateTemp(dir, "put-*.tmp")
 	if err != nil {
 		s.errs.Add(1)
 		return fmt.Errorf("store: %w", err)
 	}
-	if _, err := tmp.Write(data); err == nil {
+	if _, err = tmp.Write(data); err == nil {
 		err = tmp.Sync()
 	}
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}
 	if err == nil {
-		err = os.Rename(tmp.Name(), s.path(key))
+		err = s.fsys.Rename(tmp.Name(), s.path(key))
 	}
 	if err != nil {
-		os.Remove(tmp.Name())
+		s.fsys.Remove(tmp.Name())
 		s.errs.Add(1)
 		return fmt.Errorf("store: %w", err)
+	}
+	// The rename returned, but POSIX only promises it survives a power
+	// cut after the parent directory is fsynced. The entry is serveable
+	// either way (it is in this boot's page cache), so index it — but a
+	// failed directory sync is still a counted, reported disk error.
+	syncErr := s.fsys.SyncDir(dir)
+	if syncErr != nil {
+		s.errs.Add(1)
+		syncErr = fmt.Errorf("store: %w", syncErr)
 	}
 
 	s.mu.Lock()
@@ -320,13 +351,16 @@ func (s *Store) Put(key string, res engine.Result) error {
 	evicted := s.evictLocked()
 	s.mu.Unlock()
 	s.evictions.Add(uint64(evicted))
-	return nil
+	return syncErr
 }
 
 // evictLocked deletes oldest-mtime entries until the population fits
 // the byte budget, returning how many were dropped. Caller holds mu.
 // Ties (equal mtimes — coarse filesystems produce them) break on the
-// key so eviction order is deterministic.
+// key so eviction order is deterministic. Each fanout directory an
+// eviction touched is fsynced once, so removals are as durable as the
+// writes; sync failures here are counted but cannot fail the eviction
+// (the budget must hold regardless).
 func (s *Store) evictLocked() int {
 	if s.maxBytes <= 0 || s.size <= s.maxBytes {
 		return 0
@@ -347,14 +381,28 @@ func (s *Store) evictLocked() int {
 		return entries[i].key < entries[j].key
 	})
 	n := 0
+	touched := make(map[string]bool)
 	for _, e := range entries {
 		if s.size <= s.maxBytes {
 			break
 		}
-		os.Remove(s.path(e.key))
+		if err := s.fsys.Remove(s.path(e.key)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			s.errs.Add(1)
+			// ENOSPC-class failures can afflict removal too (dirent
+			// updates allocate on some filesystems). Drop the entry from
+			// the index regardless: the budget is an accounting bound,
+			// and a file the index forgot is re-swept by the next Open.
+		}
+		touched[filepath.Dir(s.path(e.key))] = true
 		s.size -= e.info.size
 		delete(s.index, e.key)
 		n++
+	}
+	//battlint:allow detrange fanout dirs are fsynced idempotently; order cannot matter
+	for dir := range touched {
+		if err := s.fsys.SyncDir(dir); err != nil {
+			s.errs.Add(1)
+		}
 	}
 	return n
 }

@@ -122,14 +122,14 @@ func TestPutGetRoundTrip(t *testing.T) {
 	if err := s.Put(key(0), want); err != nil {
 		t.Fatal(err)
 	}
-	got, ok := s.Get(key(0))
+	got, ok, _ := s.Get(key(0))
 	if !ok {
 		t.Fatal("stored entry missed")
 	}
 	if !resultsEqual(got, want) {
 		t.Fatalf("got %+v, want %+v", got, want)
 	}
-	if _, ok := s.Get(key(1)); ok {
+	if _, ok, _ := s.Get(key(1)); ok {
 		t.Fatal("hit for a key never stored")
 	}
 	st := s.Stats()
@@ -163,7 +163,7 @@ func TestReopenWarmStart(t *testing.T) {
 		t.Fatalf("report bytes %d != store bytes %d", rep.Bytes, s2.Bytes())
 	}
 	for k, want := range results {
-		got, ok := s2.Get(k)
+		got, ok, _ := s2.Get(k)
 		if !ok || !resultsEqual(got, want) {
 			t.Fatalf("key %s after reopen: ok=%v got %+v want %+v", k, ok, got, want)
 		}
@@ -193,7 +193,7 @@ func TestEvictionOldestFirst(t *testing.T) {
 		s.mu.Unlock()
 	}
 	// Touch key(0) (the oldest) so key(1) becomes the eviction victim.
-	if _, ok := s.Get(key(0)); !ok {
+	if _, ok, _ := s.Get(key(0)); !ok {
 		t.Fatal("key(0) missing before eviction")
 	}
 	if err := s.Put(key(3), small); err != nil {
@@ -202,11 +202,11 @@ func TestEvictionOldestFirst(t *testing.T) {
 	if s.Stats().Evictions != 1 {
 		t.Fatalf("evictions = %d, want 1", s.Stats().Evictions)
 	}
-	if _, ok := s.Get(key(1)); ok {
+	if _, ok, _ := s.Get(key(1)); ok {
 		t.Fatal("oldest untouched entry survived eviction")
 	}
 	for _, k := range []string{key(0), key(2), key(3)} {
-		if _, ok := s.Get(k); !ok {
+		if _, ok, _ := s.Get(k); !ok {
 			t.Fatalf("entry %s evicted, want it retained", k)
 		}
 	}
@@ -247,7 +247,7 @@ func TestOversizeEntrySkipped(t *testing.T) {
 	if s.Len() != 0 {
 		t.Fatal("oversize entry was stored")
 	}
-	if _, ok := s.Get(key(0)); ok {
+	if _, ok, _ := s.Get(key(0)); ok {
 		t.Fatal("oversize entry served")
 	}
 }
@@ -260,7 +260,7 @@ func TestInvalidKeys(t *testing.T) {
 		if err := s.Put(k, fullResult()); err == nil {
 			t.Fatalf("Put(%q) accepted an invalid key", k)
 		}
-		if _, ok := s.Get(k); ok {
+		if _, ok, _ := s.Get(k); ok {
 			t.Fatalf("Get(%q) hit on an invalid key", k)
 		}
 	}

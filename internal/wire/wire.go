@@ -187,6 +187,39 @@ const (
 	StateAborted = "aborted" // terminal: DELETE /v1/jobs/{id} or server drain
 )
 
+// Ready is the JSON schema of the GET /readyz response: the readiness
+// verdict, distinct from /healthz liveness. A process can be alive and
+// still not fully ready — the disk tier tripped its circuit breaker
+// (degraded: serving continues memory-only), or a drain has begun
+// (draining: stop sending traffic).
+type Ready struct {
+	// Status is the aggregate verdict: ok | degraded | draining.
+	// ok and degraded are served with HTTP 200 (the process accepts
+	// traffic); draining with 503.
+	Status string `json:"status"`
+	// Subsystems details each readiness input by name (e.g. "disk",
+	// "queue").
+	Subsystems map[string]ReadySubsystem `json:"subsystems"`
+}
+
+// ReadySubsystem is one subsystem's readiness detail inside Ready.
+type ReadySubsystem struct {
+	// Status is ok | degraded | draining | disabled (disabled:
+	// the subsystem is configured off — e.g. no disk tier attached —
+	// which never degrades the aggregate).
+	Status string `json:"status"`
+	// Detail is a human-readable explanation ("breaker open", …).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Ready statuses, aggregate and per-subsystem.
+const (
+	ReadyOK       = "ok"
+	ReadyDegraded = "degraded"
+	ReadyDraining = "draining"
+	ReadyDisabled = "disabled"
+)
+
 // MaxRestarts and MaxRestartWorkers bound the multistart knobs a wire
 // job may request. Every restart runs the full algorithm and the worker
 // count sizes real allocations, so without a ceiling one small request
