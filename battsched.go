@@ -99,6 +99,25 @@ type Scheduler = core.Scheduler
 // overwritten by its next run.
 type Runner = core.Runner
 
+// SweepRunner evaluates one graph + options across many deadlines while
+// reusing everything that does not depend on the deadline (battery model
+// resolution, matrices, candidate pruning, the initial sequence and the
+// scratch arena). A deadline sweep through it costs one construction
+// plus O(1) setup per deadline; each result is bit-identical to
+// Run(g, deadline, opt)'s. Like Runner it is a single goroutine's arena,
+// and its returned Result is overwritten by the next call.
+type SweepRunner = core.SweepRunner
+
+// NewSweepRunner validates the graph and options once and returns a
+// runner for sweeping deadlines over them.
+func NewSweepRunner(g *Graph, opt Options) (*SweepRunner, error) {
+	return core.NewSweepRunner(g, opt)
+}
+
+// MaxApprox bounds Options.Approx, the documented approximation mode's
+// per-decision suitability tolerance (0 = exact mode, the default).
+const MaxApprox = core.MaxApprox
+
 // ErrDeadlineInfeasible is returned when even the all-fastest assignment
 // misses the deadline.
 var ErrDeadlineInfeasible = core.ErrDeadlineInfeasible

@@ -173,9 +173,12 @@ func BenchmarkBatteryLifetime(b *testing.B) {
 
 // BenchmarkScalingTasks sweeps the scheduler over growing synthetic
 // fork-join graphs (the paper's target shape) to expose the algorithm's
-// polynomial scaling in n.
+// polynomial scaling in n. The upper sizes (n = 160..1000) are an order
+// of magnitude past the paper's instances; they exist to keep the
+// trajectory-replay + bound-skip design honest as n grows (scripts/
+// bench_compare.sh gates regressions against the committed snapshots).
 func BenchmarkScalingTasks(b *testing.B) {
-	for _, n := range []int{10, 20, 40, 80} {
+	for _, n := range []int{10, 20, 40, 80, 160, 320, 640, 1000} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			rng := rand.New(rand.NewSource(int64(n)))
 			recipe := dvs.Recipe{Factors: dvs.G3Factors, Rule: dvs.TimeReversedLinear, Round: 1}
@@ -201,6 +204,60 @@ func BenchmarkScalingTasks(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkDeadlineSweep measures the cross-deadline reuse path: one
+// n=80 benchmark graph evaluated at 16 deadlines spanning the feasible
+// range, once by constructing a fresh scheduler per deadline (the
+// pre-SweepRunner idiom) and once through a SweepRunner sharing the
+// deadline-independent construction, scratch arena and initial sequence.
+// The per-op unit is one full 16-deadline sweep.
+func BenchmarkDeadlineSweep(b *testing.B) {
+	const n = 80
+	rng := rand.New(rand.NewSource(int64(n)))
+	recipe := dvs.Recipe{Factors: dvs.G3Factors, Rule: dvs.TimeReversedLinear, Round: 1}
+	points, err := recipe.PointsFunc(dvs.RandomRefs(rng, n, 300, 900, 2, 8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := taskgraph.ForkJoin(4, (n-6)/4, 5, points)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo, hi := g.MinTotalTime(), g.MaxTotalTime()
+	deadlines := make([]float64, 16)
+	for i := range deadlines {
+		deadlines[i] = lo + (0.1+0.8*float64(i)/15)*(hi-lo)
+	}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, d := range deadlines {
+				s, err := core.New(g, d, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("sweeprunner", func(b *testing.B) {
+		sr, err := core.NewSweepRunner(g, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, d := range deadlines {
+				if _, err := sr.Run(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkScalingPoints sweeps the design-point count m at fixed n.

@@ -62,6 +62,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -119,6 +120,8 @@ func main() {
 		selfBreakWin = flag.Duration("self-breaker-window", 0, "with -self: disk breaker error window (0 = default)")
 		selfBreakPrb = flag.Duration("self-breaker-probe", 0, "with -self: disk breaker half-open probe interval (0 = default)")
 		minFaults    = flag.Int("min-faults", 0, "with -assert: fail unless at least this many faults were injected (proves the chaos leg ran)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run (submission through completion) here; with -self it profiles server + scheduler together, the input scripts/pgo.sh feeds to profile-guided builds")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "", 0)
@@ -225,7 +228,24 @@ func main() {
 		},
 	}
 
+	// The profile brackets exactly the load phase — no flag parsing or
+	// server bring-up noise — and is stopped explicitly (not deferred)
+	// because the assert path exits through os.Exit.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			logger.Fatalln("battload:", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			logger.Fatalln("battload:", err)
+		}
+		defer f.Close()
+	}
 	results, err := loadgen.Sweep(ctx, cfg, levels)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+		logger.Printf("battload: wrote CPU profile to %s", *cpuprofile)
+	}
 	if err != nil {
 		logger.Fatalln("battload:", err)
 	}

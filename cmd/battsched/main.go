@@ -36,6 +36,7 @@ func main() {
 		beta      = flag.Float64("beta", battery.DefaultBeta, "battery diffusion parameter (min^-1/2); shorthand for -battery rakhmatov,beta=...")
 		batt      = flag.String("battery", "", "battery model spec, e.g. kibam,capacity=40000,c=0.5,rate=0.1 (kinds: rakhmatov | ideal | peukert | kibam | calibrated)")
 		algo      = flag.String("algo", "iterative", "algorithm: iterative | rv-dp | chowdhury | all-fastest | lowest-power")
+		approx    = flag.Float64("approx", 0, "approximation tolerance in B-units for the iterative algorithm (0 = exact mode; max 16)")
 		trace     = flag.Bool("trace", false, "print the per-iteration trace (iterative only)")
 		dot       = flag.Bool("dot", false, "also print the graph in DOT")
 		timeline  = flag.Bool("timeline", false, "print a text Gantt chart with a current sparkline")
@@ -52,7 +53,7 @@ func main() {
 	}
 	// One validated construction path for the cost model: the -battery
 	// spec if given, else the -beta Rakhmatov shorthand as a spec.
-	opt := core.Options{Beta: *beta, RecordTrace: *trace}
+	opt := core.Options{Beta: *beta, RecordTrace: *trace, Approx: *approx}
 	if *batt != "" {
 		betaSet := false
 		flag.Visit(func(f *flag.Flag) { betaSet = betaSet || f.Name == "beta" })
@@ -63,7 +64,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		opt = core.Options{Battery: &spec, RecordTrace: *trace}
+		opt = core.Options{Battery: &spec, RecordTrace: *trace, Approx: *approx}
 	}
 	model, err := opt.ResolveModel()
 	if err != nil {

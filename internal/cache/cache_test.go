@@ -314,3 +314,32 @@ func TestEngineNilCachePassThrough(t *testing.T) {
 		t.Fatalf("pass-through run failed: hit=%v res=%+v", hit, res)
 	}
 }
+
+// TestKeyApprox: the approximation tolerance changes results, so it must
+// change the key — and the zero (exact-mode) spelling must stay on the
+// baseline entry.
+func TestKeyApprox(t *testing.T) {
+	base, ok := Key(g3Job(230))
+	if !ok {
+		t.Fatal("G3 job must be cacheable")
+	}
+	exact := g3Job(230)
+	exact.Options.Approx = 0
+	if k, _ := Key(exact); k != base {
+		t.Fatal("explicit Approx: 0 must share the exact-mode entry")
+	}
+	approx := g3Job(230)
+	approx.Options.Approx = 0.5
+	ka, ok := Key(approx)
+	if !ok {
+		t.Fatal("approx job must be cacheable")
+	}
+	if ka == base {
+		t.Fatal("an approximate run must never answer an exact request")
+	}
+	other := g3Job(230)
+	other.Options.Approx = 1.5
+	if ko, _ := Key(other); ko == ka {
+		t.Fatal("distinct tolerances must hash distinctly")
+	}
+}

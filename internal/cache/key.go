@@ -20,7 +20,10 @@ import (
 // v2: the battery model is hashed as a canonical battery.Spec encoding
 // instead of raw Beta/SeriesTerms fields, making every declarative
 // model kind (ideal/peukert/kibam/calibrated) cacheable.
-const keyVersion = "battsched-cache-v2"
+// v3: Options.Approx joins the hash — the approximation mode changes
+// which candidates the search evaluates, so an approximate result must
+// never answer an exact request (or vice versa).
+const keyVersion = "battsched-cache-v3"
 
 // Key returns the canonical content hash of a job — the cache address of
 // its result — and whether the job is cacheable at all.
@@ -93,6 +96,7 @@ func Key(job engine.Job) (key string, ok bool) {
 	o := job.Options.Canonical()
 	k.ints(int(o.InitialOrder), o.MaxIterations,
 		int(o.Factors), int(o.Windows), int(o.DPFColumns), boolBit(o.DisableResequencing))
+	k.f64(o.Approx)
 
 	if strategy == engine.StrategyMultiStart {
 		restarts := job.MultiStart.Restarts

@@ -5,26 +5,47 @@ package core
 // base state implied by (L, posOf, assign) — the free tasks and the tagged
 // task must sit at the lowest-power column m-1, as they do inside
 // chooseDesignPoints — then evaluates tagging the task at sequence
-// position pos with design point j WITHOUT undoing the escalation, so the
-// escalated hypothetical state can be inspected.
+// position pos with design point j and reconstructs the escalated
+// hypothetical state closed-form from the stop point so it can be
+// inspected.
 func (s *Scheduler) dpfForTest(L, posOf, assign []int, pos, ti, j, ws int) (enr, cif, dpf float64, escalated []int) {
 	scr := s.newScratch()
 	copy(scr.assign, assign)
 	copy(scr.posOf, posOf)
 	s.primeScratch(L, assign, scr)
+	scr.nFree = 0
 	for _, cand := range s.energyOrder {
-		if posOf[cand] < pos {
-			scr.freeEV = append(scr.freeEV, cand)
+		if posOf[cand] >= pos {
+			continue
+		}
+		scr.rankOf[cand] = scr.nFree
+		scr.evSeq[scr.nFree] = cand
+		scr.nFree++
+	}
+	s.fillTrajectory(ws, scr)
+	if span := s.m - 1 - ws; span > 0 {
+		for r := 0; r < scr.nFree; r++ {
+			scr.jumpOf[scr.evSeq[r]] = s.rankMoveDelta(L, posOf, pos, ws, r, ws, scr)
 		}
 	}
-	for _, f := range L[:pos] {
-		scr.colCnt[assign[f]]++
+	s.preparePosition(L, posOf, pos, ws, scr)
+	tePre := sumFloats(scr.teNow[:ti])
+	enr, cif, dpf = s.calculateDPF(L, posOf, tePre, pos, ti, j, ws, scr)
+	// factorsAt leaves the candidate's stop point in the prefix memo key;
+	// rebuild the escalated column state it implies, tag included.
+	k := scr.enPrefixK
+	span := s.m - 1 - ws
+	full, rem := 0, 0
+	if span > 0 {
+		full, rem = k/span, k%span
 	}
-	s.buildTrajectory(posOf, ws, scr)
-	enr, cif, dpf = s.calculateDPF(posOf, pos, ti, j, ws, scr)
-	// calculateDPF rewinds the mirrors to the candidate's stop point and
-	// leaves the tag out of them; reapply it for inspection.
-	escalated = append([]int(nil), scr.tmp...)
+	escalated = append([]int(nil), assign...)
+	for r := 0; r < full; r++ {
+		escalated[scr.evSeq[r]] = ws
+	}
+	if rem > 0 {
+		escalated[scr.evSeq[full]] = s.m - 1 - rem
+	}
 	escalated[ti] = j
 	return enr, cif, dpf, escalated
 }

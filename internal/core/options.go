@@ -17,6 +17,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/battery"
 )
@@ -149,7 +150,30 @@ type Options struct {
 	// changes (useful on desktop hosts for large graphs — the paper's
 	// embedded target would keep this off).
 	Parallel bool
+	// Approx enables the documented approximation mode: a non-negative
+	// epsilon that relaxes the backward pass's candidate bound-skip.
+	// With Approx = eps > 0, a candidate design point is skipped without
+	// full evaluation when a conservative lower bound on its suitability
+	// proves it cannot beat the running minimum by more than eps; the
+	// design point chosen at every sequence position is therefore
+	// guaranteed to score within eps of that position's true minimum
+	// suitability B (the per-decision quality bound — see
+	// ARCHITECTURE.md "Performance" for why the greedy outer loop keeps
+	// this a per-decision, not whole-schedule, bound). Zero (the
+	// default) is exact mode: the same bound skips only candidates
+	// provably unable to win at all, and results stay bit-identical to
+	// the reference evaluators. Approx changes results, so it is hashed
+	// into the content-addressed cache key — approximate and exact runs
+	// never share a cache entry. Suitability terms are O(1)-normalized
+	// (each spans about [0,1]), so useful epsilons are small fractions;
+	// values above MaxApprox are rejected.
+	Approx float64
 }
+
+// MaxApprox bounds Options.Approx. The five suitability terms are each
+// normalized to about [0,1], so an epsilon of 16 already out-scores any
+// candidate gap — larger values are almost certainly a units mistake.
+const MaxApprox = 16
 
 // DPFColumnRule selects the DPF column-weight interpretation.
 type DPFColumnRule int
@@ -240,9 +264,12 @@ func (o Options) Canonical() Options {
 	return o
 }
 
-// withDefaults resolves every default including the battery model; New
-// is the only caller (it surfaces ResolveModel's error to its caller).
+// withDefaults resolves every default including the battery model;
+// NewBase is the only caller (it surfaces the error to its caller).
 func (o Options) withDefaults() (Options, error) {
+	if o.Approx < 0 || o.Approx > MaxApprox || math.IsNaN(o.Approx) {
+		return o, fmt.Errorf("core: Options.Approx must be in [0, %d], got %g", MaxApprox, o.Approx)
+	}
 	model, err := o.ResolveModel()
 	if err != nil {
 		return o, err

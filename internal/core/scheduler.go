@@ -78,45 +78,108 @@ type Scheduler struct {
 	// i) as a bitset over dense task indices — the Equation-4 weights
 	// iterate it without touching the graph's per-task index slices.
 	reachBits [][]uint64
+	// cands[i] holds task i's design-point columns in the backward
+	// pass's scan order (descending), with exact-duplicate columns
+	// pruned: two columns with bit-equal (time, current) produce
+	// bit-identical suitability in any context, and the reference's
+	// strict `b < bestB` keeps the first-scanned (larger) column on a
+	// tie, so dropping every duplicate but the first-scanned one is the
+	// one candidate-dominance rule that provably preserves the argmin.
+	// (Broader (time, energy) Pareto pruning is NOT argmin-preserving
+	// here: CIF compares a candidate's current against its sequence
+	// neighbors, so a dominated point can still score a strictly lower
+	// B. See ARCHITECTURE.md "Performance".)
+	cands [][]int32
+	// minEfFrom[i*m+c] is task i's minimum charge-energy over columns
+	// [c..m-1] — the tightest per-task contribution to the candidate
+	// lower bound's ENR term for a window starting at c (see lowerBound).
+	minEfFrom []float64
+	// enrSlack bounds the total float rounding the lower bound's ENR
+	// term can accumulate (deadline-independent; see analyzeLowerBound),
+	// and lbSlack is the full conservative slack of the candidate lower
+	// bound used by the bound-skip in chooseDesignPoints
+	// (deadline-dependent; see the Scheduler method on SchedulerBase for
+	// the derivation).
+	enrSlack float64
+	lbSlack  float64
+	// skipAudit, when non-nil (white-box tests only), receives every
+	// candidate the bound skip discards together with the exact
+	// suitability it would have scored. Exact evaluation of a skipped
+	// candidate is safe mid-loop: candidate stop points are monotone, so
+	// the extra replay/rewind lands the mirrors exactly where a
+	// non-audited run would leave them.
+	skipAudit func(pos, j int, lb, bestB, exactB float64)
+}
+
+// SchedulerBase is the deadline-independent part of a Scheduler: the
+// validated graph and options, the resolved battery model, the flat
+// matrices, the Energy Vector, the reachability bitsets and the pruned
+// candidate lists. Everything a deadline sweep re-derives per deadline
+// today except the deadline itself lives here, built once by NewBase and
+// shared — a SchedulerBase is immutable and safe for concurrent
+// Scheduler calls, and the Schedulers it mints share its slices.
+type SchedulerBase struct {
+	proto Scheduler
 }
 
 // New validates the inputs and prepares a scheduler. The graph must give
 // every task the same number of design points (the paper's model); the
 // deadline must be positive and reachable with the fastest points.
 func New(g *taskgraph.Graph, deadline float64, opt Options) (*Scheduler, error) {
+	if err := validDeadline(deadline); err != nil {
+		return nil, err
+	}
+	base, err := NewBase(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	return base.Scheduler(deadline)
+}
+
+func validDeadline(deadline float64) error {
+	if deadline <= 0 || math.IsNaN(deadline) || math.IsInf(deadline, 0) {
+		return fmt.Errorf("core: deadline must be positive and finite, got %g", deadline)
+	}
+	return nil
+}
+
+// NewBase validates the graph and options and performs every piece of
+// scheduler construction that does not depend on the deadline: battery
+// model resolution (a calibrated spec runs a whole beta-fit here),
+// matrix flattening, the Energy Vector sort, reachability bitsets,
+// candidate dominance pruning and the lower-bound slack analysis.
+// Deadline sweeps (SweepRunner, the engine's batch grouping) build one
+// base and mint per-deadline Schedulers from it with Scheduler — each
+// mint is a shallow copy, so the per-deadline cost collapses to O(1).
+func NewBase(g *taskgraph.Graph, opt Options) (*SchedulerBase, error) {
 	if g == nil {
 		return nil, errors.New("core: nil graph")
-	}
-	if deadline <= 0 || math.IsNaN(deadline) || math.IsInf(deadline, 0) {
-		return nil, fmt.Errorf("core: deadline must be positive and finite, got %g", deadline)
 	}
 	m, uniform := g.UniformPointCount()
 	if !uniform {
 		return nil, errors.New("core: every task must have the same number of design points")
 	}
-	// Resolve the battery model exactly once per scheduler — a
-	// calibrated spec runs a whole beta-fit here — so the per-window
-	// hot path only ever sees a ready Model value. Invalid specs fail
-	// construction, before any scheduling work.
+	// Resolve the battery model exactly once per base — so the
+	// per-window hot path only ever sees a ready Model value. Invalid
+	// specs fail construction, before any scheduling work.
 	opt, err := opt.withDefaults()
 	if err != nil {
 		return nil, err
 	}
 	n := g.N()
 	s := &Scheduler{
-		g:        g,
-		deadline: deadline,
-		opt:      opt,
-		model:    opt.Model,
-		n:        n,
-		m:        m,
-		d:        make([][]float64, n),
-		cur:      make([][]float64, n),
-		df:       make([]float64, n*m),
-		cf:       make([]float64, n*m),
-		ef:       make([]float64, n*m),
-		avgCur:   make([]float64, n),
-		avgEn:    make([]float64, n),
+		g:      g,
+		opt:    opt,
+		model:  opt.Model,
+		n:      n,
+		m:      m,
+		d:      make([][]float64, n),
+		cur:    make([][]float64, n),
+		df:     make([]float64, n*m),
+		cf:     make([]float64, n*m),
+		ef:     make([]float64, n*m),
+		avgCur: make([]float64, n),
+		avgEn:  make([]float64, n),
 	}
 	for i := 0; i < n; i++ {
 		t := g.TaskAt(i)
@@ -155,7 +218,101 @@ func New(g *taskgraph.Graph, deadline float64, opt Options) (*Scheduler, error) 
 		}
 		s.reachBits[i] = row
 	}
-	return s, nil
+	s.buildCandidates()
+	s.analyzeLowerBound()
+	return &SchedulerBase{proto: *s}, nil
+}
+
+// Scheduler mints a scheduler for one deadline from the shared base.
+// The result is bit-identical to New(base.Graph(), deadline, opt) — the
+// only per-deadline state is the deadline itself and the bound-skip
+// slack derived from it; everything else is shared with the base.
+func (b *SchedulerBase) Scheduler(deadline float64) (*Scheduler, error) {
+	if err := validDeadline(deadline); err != nil {
+		return nil, err
+	}
+	s := b.proto
+	s.deadline = deadline
+	// Conservative slack of the candidate lower bound (see lowerBound
+	// for the per-term bounds). The terms can undercut LB only by
+	// bounded amounts: SR and CR are bit-equal to B's; CIF's bound is
+	// exact by integer monotonicity; DPF is a fold of non-negative
+	// products except at pos == 0, where (d-te)/d >= -timeEps/d by the
+	// replay's exit condition; ENR's real-arithmetic bound leaves only
+	// fold rounding, budgeted by enrSlack (see analyzeLowerBound). The
+	// trailing 1e-12 absorbs the rounding of folding <= 5 terms of
+	// magnitude <= lbGuardMax into B and LB (bounded by ~128 ULP at that
+	// magnitude, orders below 1e-12), so B >= LB - lbSlack holds for
+	// every candidate the reference scores.
+	s.lbSlack = 2*timeEps/deadline + s.enrSlack + 1e-12
+	return &s, nil
+}
+
+// Graph returns the graph the base was built for.
+func (b *SchedulerBase) Graph() *taskgraph.Graph { return b.proto.g }
+
+// buildCandidates precomputes the per-task pruned candidate lists (see
+// the cands field). Columns are time-ascending and current
+// non-increasing, so exact-duplicate (time, current) columns are always
+// adjacent and one comparison against the last survivor finds them all.
+func (s *Scheduler) buildCandidates() {
+	n, m := s.n, s.m
+	backing := make([]int32, 0, n*m)
+	s.cands = make([][]int32, n)
+	for i := 0; i < n; i++ {
+		start := len(backing)
+		prev := -1
+		for j := m - 1; j >= 0; j-- {
+			if prev >= 0 && s.df[i*m+j] == s.df[i*m+prev] && s.cf[i*m+j] == s.cf[i*m+prev] {
+				continue
+			}
+			backing = append(backing, int32(j))
+			prev = j
+		}
+		s.cands[i] = backing[start:len(backing):len(backing)]
+	}
+}
+
+// analyzeLowerBound precomputes the inputs of the candidate lower
+// bound's ENR term (see lowerBound): per-task suffix minima of the
+// charge-energy row (minEfFrom) and the fold-rounding budget enrSlack.
+//
+// The bound compares two float quantities standing in for real sums: the
+// suitability's en (a left-to-right fold of n non-negative stored
+// energies) and the bound's en (two adds over incrementally maintained
+// partial sums, each touched O(n) times per pass). Every intermediate
+// magnitude is bounded by the sum of per-task maximum energies, so the
+// total divergence between the float expressions and the real sums they
+// bound is below gamma_n times that magnitude per fold. gamma here is
+// ~10x the combined worst-case constant of the ~4n float operations
+// involved (each contributing u/(1-4n·u), u = 2^-53), so the budget is
+// safely conservative while still ~1e-12-scale for realistic inputs —
+// it never eats real pruning power.
+func (s *Scheduler) analyzeLowerBound() {
+	n, m := s.n, s.m
+	s.minEfFrom = make([]float64, n*m)
+	var sumMaxEf float64
+	for i := 0; i < n; i++ {
+		hi := s.ef[i*m]
+		lo := s.ef[i*m+m-1]
+		s.minEfFrom[i*m+m-1] = lo
+		for j := m - 2; j >= 0; j-- {
+			v := s.ef[i*m+j]
+			if v > hi {
+				hi = v
+			}
+			if v < lo {
+				lo = v
+			}
+			s.minEfFrom[i*m+j] = lo
+		}
+		sumMaxEf += hi
+	}
+	if s.eMax <= s.eMin {
+		return // ENR is identically zero (factorsFrom guards the division)
+	}
+	gamma := 4e-15 * float64(n+16)
+	s.enrSlack = gamma * (sumMaxEf + s.eMin + s.eMax) / (s.eMax - s.eMin)
 }
 
 // Graph returns the graph the scheduler was built for.

@@ -163,8 +163,9 @@ func (e *Engine) RunBatchContext(ctx context.Context, jobs []Job) []Result {
 		// ErrCanceled instead of a zero value.
 		results[i] = Result{Index: i, Name: jobs[i].Name, Err: ErrCanceled}
 	}
+	bases := newBaseCache()
 	e.RunEachContext(ctx, len(jobs), func(i, restartWorkers int) {
-		results[i] = e.runJob(ctx, i, jobs[i], restartWorkers)
+		results[i] = e.runJob(ctx, i, jobs[i], restartWorkers, bases)
 	})
 	return results
 }
@@ -230,7 +231,7 @@ dispatch:
 // misbehaving custom battery model cannot take the batch down, and
 // context errors into ErrCanceled so front ends report cancellation
 // distinctly from scheduling failures.
-func (e *Engine) runJob(ctx context.Context, i int, job Job, restartWorkers int) (res Result) {
+func (e *Engine) runJob(ctx context.Context, i int, job Job, restartWorkers int, bases *baseCache) (res Result) {
 	res = Result{Index: i, Name: job.Name}
 	defer func() {
 		if r := recover(); r != nil {
@@ -258,7 +259,7 @@ func (e *Engine) runJob(ctx context.Context, i int, job Job, restartWorkers int)
 		res.Err = ErrNilGraph
 		return res
 	}
-	res.Err = e.execute(ctx, strategy, job, &res, restartWorkers)
+	res.Err = e.execute(ctx, strategy, job, &res, restartWorkers, bases)
 	if res.Err != nil {
 		if isContextErr(res.Err) {
 			res.Err = CanceledError(res.Err)

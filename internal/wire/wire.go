@@ -64,6 +64,13 @@ type Job struct {
 	// Rakhmatov configuration. Spec jobs are fully cacheable — the
 	// canonical spec bytes are part of the result cache key.
 	Battery *battery.Spec `json:"battery,omitempty"`
+	// Approx enables the scheduler's documented approximation mode for
+	// the iterative strategies: a per-decision suitability tolerance in
+	// [0, 16] B-units (see core.Options.Approx). 0 — the default — is
+	// exact mode, bit-identical to the paper's algorithm. Approx changes
+	// results, so it is part of the cache key: approximate and exact
+	// runs of the same job never share an entry.
+	Approx float64 `json:"approx,omitempty"`
 	// Restarts/Seed/RestartWorkers configure the multistart strategy;
 	// RestartWorkers 0 inherits the runner's worker bound.
 	Restarts       int   `json:"restarts,omitempty"`
@@ -322,6 +329,8 @@ func (j Job) Validate() error {
 		return fmt.Errorf("job %s: \"beta\" must be a finite non-negative number, got %g", j.label(), j.Beta)
 	case j.Beta != 0 && j.Battery != nil:
 		return fmt.Errorf("job %s: has both \"beta\" and \"battery\" (use battery.beta)", j.label())
+	case !finite(j.Approx) || j.Approx < 0 || j.Approx > core.MaxApprox:
+		return fmt.Errorf("job %s: \"approx\" must be a finite number in [0, %d], got %g", j.label(), core.MaxApprox, j.Approx)
 	case j.Restarts < 0 || j.Restarts > MaxRestarts:
 		return fmt.Errorf("job %s: \"restarts\" must be in [0, %d], got %d", j.label(), MaxRestarts, j.Restarts)
 	case j.RestartWorkers < 0 || j.RestartWorkers > MaxRestartWorkers:
@@ -370,7 +379,7 @@ func (j Job) ToEngine() (engine.Job, error) {
 		Name:     j.Name,
 		Deadline: j.Deadline,
 		Strategy: j.Strategy,
-		Options:  core.Options{Beta: j.Beta, Battery: j.Battery},
+		Options:  core.Options{Beta: j.Beta, Battery: j.Battery, Approx: j.Approx},
 		MultiStart: core.MultiStartOptions{
 			Restarts: j.Restarts,
 			Seed:     j.Seed,

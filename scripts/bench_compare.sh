@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# bench_compare.sh — rerun the scaling-sensitive benchmarks and diff
+# them against the newest committed BENCH_*.json snapshot, failing on
+# regression. This is the committed snapshots' enforcement arm: CI's
+# bench-smoke job runs it, so BenchmarkScalingTasks and
+# BenchmarkTable3WindowSweep cannot silently regress past the threshold.
+#
+# Usage:
+#   scripts/bench_compare.sh [-b baseline.json] [-m pattern] [-r max-regress] [-c count] [-t benchtime]
+#
+#   -b baseline  baseline snapshot (default: newest committed BENCH_<date>.json,
+#                ignoring .pre/.load/.chaos variants)
+#   -m pattern   benchmark key regexp to compare
+#                (default "BenchmarkScalingTasks|BenchmarkTable3WindowSweep")
+#   -r fraction  allowed regression before failing (default 0.25 = +25%)
+#   -c count     -count for the fresh run (default 3; means are compared,
+#                more samples = steadier means)
+#   -t benchtime -benchtime for the fresh run (default 0.3s)
+#
+# The fresh run covers only the matched benchmarks (root package), so a
+# full compare stays CI-sized. Shared runners are noisy; the default
+# threshold is loose on purpose — it exists to catch algorithmic
+# regressions, not scheduler jitter.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=""
+pattern='BenchmarkScalingTasks|BenchmarkTable3WindowSweep'
+regress=0.25
+count=3
+benchtime=0.3s
+while getopts "b:m:r:c:t:h" opt; do
+  case "$opt" in
+    b) baseline="$OPTARG" ;;
+    m) pattern="$OPTARG" ;;
+    r) regress="$OPTARG" ;;
+    c) count="$OPTARG" ;;
+    t) benchtime="$OPTARG" ;;
+    h|*) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+  esac
+done
+
+if [ -z "$baseline" ]; then
+  # Newest main snapshot by date in the name; variants carry suffixes.
+  baseline=$(ls BENCH_????-??-??.json 2>/dev/null | sort | tail -n 1 || true)
+  if [ -z "$baseline" ]; then
+    echo "bench_compare: no committed BENCH_<date>.json found" >&2
+    exit 2
+  fi
+fi
+
+fresh=$(mktemp /tmp/bench_compare.XXXXXX.json)
+trap 'rm -f "$fresh"' EXIT
+
+echo "fresh run: -bench '$pattern' -count $count -benchtime $benchtime" >&2
+go test -run '^$' -bench "$pattern" -benchmem -count "$count" -benchtime "$benchtime" . \
+  | go run ./scripts/benchjson -o "$fresh"
+
+go run ./scripts/benchcompare -base "$baseline" -new "$fresh" \
+  -match "$pattern" -max-regress "$regress"

@@ -1,0 +1,119 @@
+// Command benchcompare diffs two BENCH_*.json snapshots (see
+// scripts/benchjson) and fails when a benchmark regressed past a
+// threshold. It is the teeth behind the committed snapshots: CI's
+// bench-smoke job reruns the scaling-sensitive benchmarks and compares
+// their mean ns/op against the last committed snapshot, so an
+// accidental algorithmic regression cannot merge silently.
+//
+// Usage:
+//
+//	go run ./scripts/benchcompare -base BENCH_2026-08-08.json -new /tmp/fresh.json \
+//	    -match 'BenchmarkScalingTasks|BenchmarkTable3WindowSweep' -max-regress 0.25
+//
+// Only benchmarks present in BOTH snapshots and matching -match are
+// compared (a new benchmark has no baseline; a retired one has no fresh
+// number). Improvements and small drifts print informationally; any
+// comparison where new > base*(1+max-regress) fails the run with exit
+// status 1. Shared runners are noisy, so the default threshold is
+// deliberately loose — it catches algorithmic regressions (2x, 10x),
+// not micro-drift.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+type entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Samples     int     `json:"samples"`
+}
+
+type snapshot struct {
+	Generated  string           `json:"generated"`
+	CPU        string           `json:"cpu"`
+	Benchmarks map[string]entry `json:"benchmarks"`
+}
+
+func load(path string) (snapshot, error) {
+	var s snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return s, fmt.Errorf("%s: no benchmarks in snapshot", path)
+	}
+	return s, nil
+}
+
+func main() {
+	basePath := flag.String("base", "", "baseline snapshot (committed BENCH_*.json)")
+	newPath := flag.String("new", "", "fresh snapshot to judge")
+	match := flag.String("match", ".", "regexp selecting benchmark keys to compare")
+	maxRegress := flag.Float64("max-regress", 0.25, "fail when new ns/op exceeds base by more than this fraction")
+	flag.Parse()
+	if *basePath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcompare: -base and -new are required")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: bad -match: %v\n", err)
+		os.Exit(2)
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+		os.Exit(2)
+	}
+
+	keys := make([]string, 0, len(fresh.Benchmarks))
+	for k := range fresh.Benchmarks {
+		if _, ok := base.Benchmarks[k]; ok && re.MatchString(k) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcompare: no benchmark matches %q in both snapshots\n", *match)
+		os.Exit(2)
+	}
+
+	failed := 0
+	fmt.Printf("comparing %d benchmarks against %s (threshold +%.0f%%)\n",
+		len(keys), *basePath, *maxRegress*100)
+	for _, k := range keys {
+		b, n := base.Benchmarks[k], fresh.Benchmarks[k]
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		ratio := n.NsPerOp / b.NsPerOp
+		verdict := "ok"
+		if ratio > 1+*maxRegress {
+			verdict = "REGRESSED"
+			failed++
+		}
+		fmt.Printf("  %-70s %12.0f -> %12.0f ns/op  (%+.1f%%)  %s\n",
+			k, b.NsPerOp, n.NsPerOp, (ratio-1)*100, verdict)
+	}
+	if failed > 0 {
+		fmt.Printf("FAIL: %d benchmark(s) regressed more than %.0f%%\n", failed, *maxRegress*100)
+		os.Exit(1)
+	}
+	fmt.Println("PASS: no benchmark regressed past the threshold")
+}

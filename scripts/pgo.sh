@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# pgo.sh — collect a representative CPU profile and install it as
+# cmd/battschedd/default.pgo, the profile `go build ./cmd/battschedd`
+# picks up automatically for profile-guided optimization.
+#
+# Usage:
+#   scripts/pgo.sh [-n jobs] [-c clients] [-k keep.pprof]
+#
+#   -n jobs     submissions for the profiling run (default 2000)
+#   -c clients  concurrent virtual clients (default 32)
+#   -k path     also keep the raw profile at this path
+#
+# The workload is battload -self: an in-process battschedd driven over
+# real HTTP with a deadline spread wide enough to defeat the result
+# cache, so the profile carries the serving stack AND the scheduler hot
+# path (internal/core's window sweep) in realistic proportion. The
+# result cache is what makes -n matter: every job must differ in
+# deadline or it degenerates into a cache benchmark, so the spread below
+# covers the G3 feasible range densely.
+#
+# After refreshing default.pgo, verify the build still passes and commit
+# the file — the profile is input to every future `go build`, so it is
+# versioned evidence like the BENCH_*.json snapshots. Regenerate it when
+# the hot path changes shape (scripts/bench_compare.sh failing after an
+# intentional optimization is the usual cue).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+n=2000
+c=32
+keep=""
+while getopts "n:c:k:h" opt; do
+  case "$opt" in
+    n) n="$OPTARG" ;;
+    c) c="$OPTARG" ;;
+    k) keep="$OPTARG" ;;
+    h|*) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+  esac
+done
+
+prof=$(mktemp /tmp/battsched_pgo.XXXXXX.pprof)
+trap 'rm -f "$prof"' EXIT
+
+echo "pgo: profiling battload -self (-n $n -c $c)" >&2
+go run ./cmd/battload -self -n "$n" -c "$c" \
+  -deadline-min 100 -deadline-max 230 \
+  -cpuprofile "$prof" >/dev/null
+
+if [ -n "$keep" ]; then
+  cp "$prof" "$keep"
+  echo "pgo: raw profile kept at $keep" >&2
+fi
+
+cp "$prof" cmd/battschedd/default.pgo
+echo "pgo: installed cmd/battschedd/default.pgo" >&2
+
+# Prove the toolchain accepts the profile (a corrupt one fails the build).
+go build -o /dev/null ./cmd/battschedd
+echo "pgo: PGO build of cmd/battschedd OK" >&2
